@@ -1,0 +1,261 @@
+package cata
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cata/internal/exp"
+	"cata/internal/sim"
+	"cata/internal/workloads"
+)
+
+// Policy selects one of the paper's evaluated system configurations.
+type Policy int
+
+// The six policies of the evaluation (§V).
+const (
+	// PolicyFIFO: baseline FIFO scheduler on a statically heterogeneous
+	// machine; criticality-blind (§II-C).
+	PolicyFIFO Policy = iota
+	// PolicyCATSBL: criticality-aware task scheduling with dynamic
+	// bottom-level criticality estimation (§II-B, [24]).
+	PolicyCATSBL
+	// PolicyCATSSA: criticality-aware task scheduling with static
+	// criticality annotations (the paper's criticality(c) clause).
+	PolicyCATSSA
+	// PolicyCATA: criticality-aware task acceleration in software —
+	// runtime-driven DVFS through the cpufreq stack (§III-A).
+	PolicyCATA
+	// PolicyCATARSU: CATA with the hardware Runtime Support Unit (§III-B).
+	PolicyCATARSU
+	// PolicyTurboMode: the criticality-blind TurboMode comparator (§V-D).
+	PolicyTurboMode
+	// PolicyCATARSUHA: extension beyond the paper — CATA+RSU that
+	// releases the budget of IO-halted cores and restores it on wake,
+	// adopting the one TurboMode behavior §V-D concedes is superior.
+	PolicyCATARSUHA
+	// PolicyCATA3L: extension beyond the paper — three acceleration
+	// levels (1/1.5/2 GHz) under a power-unit budget, the multi-level
+	// generalization §III leaves as future work.
+	PolicyCATA3L
+)
+
+// AllPolicies returns every paper-evaluated policy in evaluation order
+// (the halt-aware extension is listed by ExtensionPolicies).
+func AllPolicies() []Policy {
+	return []Policy{PolicyFIFO, PolicyCATSBL, PolicyCATSSA, PolicyCATA, PolicyCATARSU, PolicyTurboMode}
+}
+
+// ExtensionPolicies returns the beyond-the-paper configurations.
+func ExtensionPolicies() []Policy { return []Policy{PolicyCATARSUHA, PolicyCATA3L} }
+
+// Fig4Policies returns the software-only configurations of Figure 4.
+func Fig4Policies() []Policy {
+	return []Policy{PolicyFIFO, PolicyCATSBL, PolicyCATSSA, PolicyCATA}
+}
+
+// Fig5Policies returns the configurations of Figure 5.
+func Fig5Policies() []Policy {
+	return []Policy{PolicyCATA, PolicyCATARSU, PolicyTurboMode}
+}
+
+// String returns the paper's label for the policy.
+func (p Policy) String() string { return p.internal().String() }
+
+// ParsePolicy converts a paper label ("FIFO", "CATS+BL", "CATS+SA",
+// "CATA", "CATA+RSU", "TurboMode") to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	ip, err := exp.ParsePolicy(s)
+	if err != nil {
+		return 0, err
+	}
+	return fromInternal(ip), nil
+}
+
+func (p Policy) internal() exp.Policy {
+	switch p {
+	case PolicyFIFO:
+		return exp.FIFO
+	case PolicyCATSBL:
+		return exp.CATSBL
+	case PolicyCATSSA:
+		return exp.CATSSA
+	case PolicyCATA:
+		return exp.CATA
+	case PolicyCATARSU:
+		return exp.CATARSU
+	case PolicyTurboMode:
+		return exp.TURBO
+	case PolicyCATARSUHA:
+		return exp.CATARSUHA
+	case PolicyCATA3L:
+		return exp.CATA3L
+	default:
+		panic(fmt.Sprintf("cata: unknown policy %d", int(p)))
+	}
+}
+
+func fromInternal(p exp.Policy) Policy {
+	switch p {
+	case exp.FIFO:
+		return PolicyFIFO
+	case exp.CATSBL:
+		return PolicyCATSBL
+	case exp.CATSSA:
+		return PolicyCATSSA
+	case exp.CATA:
+		return PolicyCATA
+	case exp.CATARSU:
+		return PolicyCATARSU
+	case exp.TURBO:
+		return PolicyTurboMode
+	case exp.CATARSUHA:
+		return PolicyCATARSUHA
+	case exp.CATA3L:
+		return PolicyCATA3L
+	default:
+		panic(fmt.Sprintf("cata: unknown internal policy %d", int(p)))
+	}
+}
+
+// RunConfig describes one simulation.
+type RunConfig struct {
+	// Workload names a built-in benchmark (see Workloads). Ignored when
+	// Program is set.
+	Workload string
+	// Program, when non-nil, runs a custom task graph built with
+	// NewProgram.
+	Program *Program
+	// Policy is the system configuration (default PolicyFIFO).
+	Policy Policy
+	// FastCores is the power budget: statically fast cores for FIFO/CATS,
+	// maximum simultaneously accelerated cores for CATA/RSU/TurboMode.
+	// The paper sweeps 8, 16 and 24 out of 32.
+	FastCores int
+	// Cores is the machine size (default 32, Table I).
+	Cores int
+	// Seed drives workload randomness (default 42).
+	Seed uint64
+	// Scale in (0, 1] shrinks workload task counts (default 1.0).
+	Scale float64
+	// TransitionLatency overrides the DVFS transition latency (zero keeps
+	// the Table I value of 25 µs). Used by the latency ablation.
+	TransitionLatency time.Duration
+	// TraceTo, when non-nil, receives the run's task timeline as a
+	// Chrome trace JSON document (open in chrome://tracing or Perfetto).
+	TraceTo io.Writer
+	// TimelineTo, when non-nil, receives a per-core ASCII Gantt chart of
+	// the run ('#' critical tasks, '=' non-critical, '.' idle).
+	TimelineTo io.Writer
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	// Makespan is the execution time of the parallel section.
+	Makespan time.Duration
+	// Joules is total chip energy.
+	Joules float64
+	// EDP is the energy-delay product in joule-seconds.
+	EDP float64
+	// TasksRun is the number of tasks executed.
+	TasksRun int64
+	// CriticalTasks is the number of tasks estimated critical.
+	CriticalTasks int64
+	// ReconfigOps counts RSM/RSU reconfiguration operations (CATA paths).
+	ReconfigOps int64
+	// ReconfigLatencyAvg and ReconfigLatencyMax describe software
+	// reconfiguration latency (CATA only; §V-C).
+	ReconfigLatencyAvg, ReconfigLatencyMax time.Duration
+	// MaxLockWait is the worst lock acquisition observed across the
+	// runtime and kernel reconfiguration locks (CATA only).
+	MaxLockWait time.Duration
+	// ReconfigOverheadPct is reconfiguration core-time as a percentage of
+	// total core-time (CATA only).
+	ReconfigOverheadPct float64
+	// Transitions counts physical DVFS transitions.
+	Transitions int64
+	// Inversions counts critical tasks dispatched to slow cores.
+	Inversions int64
+	// StaticBindingEvents counts times a fast core went idle while a
+	// critical task ran on a slow core (the second §II-C misbehavior).
+	StaticBindingEvents int64
+	// AvgUtilization is mean core busy-time over the makespan, in [0,1].
+	AvgUtilization float64
+}
+
+func toDuration(t sim.Time) time.Duration {
+	return time.Duration(int64(t) / int64(sim.Nanosecond))
+}
+
+func toResult(m exp.Measurement) Result {
+	lockMax := m.LockWaitMax
+	if m.DriverLockWaitMax > lockMax {
+		lockMax = m.DriverLockWaitMax
+	}
+	return Result{
+		Makespan:            toDuration(m.Makespan),
+		Joules:              m.Joules,
+		EDP:                 m.EDP,
+		TasksRun:            m.TasksRun,
+		CriticalTasks:       m.CriticalTasks,
+		ReconfigOps:         m.ReconfigOps,
+		ReconfigLatencyAvg:  toDuration(m.ReconfigLatencyAvg),
+		ReconfigLatencyMax:  toDuration(m.ReconfigLatencyMax),
+		MaxLockWait:         toDuration(lockMax),
+		ReconfigOverheadPct: m.ReconfigOverheadPct,
+		Transitions:         m.Transitions,
+		Inversions:          m.Inversions,
+		StaticBindingEvents: m.StaticBinding,
+		AvgUtilization:      m.AvgUtilization,
+	}
+}
+
+// Run executes one simulation.
+func Run(cfg RunConfig) (Result, error) {
+	spec := exp.RunSpec{
+		Workload:          cfg.Workload,
+		Policy:            cfg.Policy.internal(),
+		FastCores:         cfg.FastCores,
+		Cores:             cfg.Cores,
+		Seed:              cfg.Seed,
+		Scale:             cfg.Scale,
+		TransitionLatency: sim.Time(cfg.TransitionLatency.Nanoseconds()) * sim.Nanosecond,
+		Trace:             cfg.TraceTo,
+		Timeline:          cfg.TimelineTo,
+	}
+	if cfg.Program != nil {
+		if err := cfg.Program.Err(); err != nil {
+			return Result{}, err
+		}
+		spec.Program = cfg.Program.build()
+	}
+	m, err := exp.Run(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return toResult(m), nil
+}
+
+// WorkloadInfo describes a built-in benchmark.
+type WorkloadInfo struct {
+	Name        string
+	Description string
+	// Tasks is the task count at full scale (seed 42).
+	Tasks int
+}
+
+// Workloads lists the six built-in PARSECSs-like benchmarks in the
+// paper's order.
+func Workloads() []WorkloadInfo {
+	ws := workloads.All()
+	infos := make([]WorkloadInfo, len(ws))
+	for i, w := range ws {
+		infos[i] = WorkloadInfo{
+			Name:        w.Name(),
+			Description: w.Description(),
+			Tasks:       w.Build(42, 1.0).Tasks(),
+		}
+	}
+	return infos
+}

@@ -1,0 +1,248 @@
+package cata
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPolicyRoundTrip(t *testing.T) {
+	for _, p := range AllPolicies() {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Fatal("bogus policy parsed")
+	}
+}
+
+func TestPolicyGroups(t *testing.T) {
+	if len(AllPolicies()) != 6 || len(Fig4Policies()) != 4 || len(Fig5Policies()) != 3 {
+		t.Fatal("policy group sizes wrong")
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 6 {
+		t.Fatalf("Workloads = %d, want 6", len(ws))
+	}
+	if ws[0].Name != "blackscholes" || ws[5].Name != "ferret" {
+		t.Fatal("workload order wrong")
+	}
+	for _, w := range ws {
+		if w.Tasks < 100 || w.Description == "" {
+			t.Fatalf("workload %s underspecified: %+v", w.Name, w)
+		}
+	}
+}
+
+func TestRunBuiltinWorkload(t *testing.T) {
+	res, err := Run(RunConfig{
+		Workload: "dedup", Policy: PolicyCATA,
+		FastCores: 4, Cores: 8, Scale: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 || res.Joules <= 0 || res.EDP <= 0 || res.TasksRun == 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.ReconfigOps == 0 || res.ReconfigLatencyAvg <= 0 {
+		t.Fatal("CATA reconfiguration stats missing")
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	if _, err := Run(RunConfig{Workload: "nope", Policy: PolicyFIFO, FastCores: 4}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestCustomProgram(t *testing.T) {
+	heavy := NewTaskType("heavy", 1)
+	light := NewTaskType("light", 0)
+	if heavy.Name() != "heavy" || heavy.Criticality() != 1 || light.Criticality() != 0 {
+		t.Fatal("task type accessors wrong")
+	}
+	p := NewProgram("demo")
+	chain := p.NewToken()
+	for i := 0; i < 6; i++ {
+		p.Task(TaskSpec{Type: heavy, Duration: 2 * time.Millisecond,
+			MemFraction: 0.3, Ins: []Token{chain}, Outs: []Token{chain}})
+		for j := 0; j < 4; j++ {
+			p.Task(TaskSpec{Type: light, Duration: 500 * time.Microsecond})
+		}
+	}
+	p.Barrier()
+	if p.Tasks() != 30 {
+		t.Fatalf("Tasks = %d", p.Tasks())
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunConfig{Program: p, Policy: PolicyCATARSU, FastCores: 2, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun != 30 {
+		t.Fatalf("TasksRun = %d", res.TasksRun)
+	}
+	// The serial heavy chain bounds the makespan from below: 6 tasks that
+	// even at 2 GHz take >= 2ms×(0.35+0.3) each... conservatively 6ms.
+	if res.Makespan < 6*time.Millisecond {
+		t.Fatalf("makespan %v breaks the chain bound", res.Makespan)
+	}
+}
+
+func TestCustomProgramErrors(t *testing.T) {
+	p := NewProgram("bad")
+	p.Task(TaskSpec{Type: nil, Duration: time.Millisecond})
+	if p.Err() == nil {
+		t.Fatal("nil type not rejected")
+	}
+	if _, err := Run(RunConfig{Program: p, Policy: PolicyFIFO, FastCores: 1, Cores: 2}); err == nil {
+		t.Fatal("Run accepted broken program")
+	}
+	p2 := NewProgram("bad2")
+	p2.Task(TaskSpec{Type: NewTaskType("x", 0), Duration: -time.Second})
+	if p2.Err() == nil {
+		t.Fatal("negative duration not rejected")
+	}
+	p3 := NewProgram("bad3")
+	p3.Task(TaskSpec{Type: NewTaskType("x", 0), Duration: time.Millisecond, MemFraction: 2})
+	if p3.Err() == nil {
+		t.Fatal("bad MemFraction not rejected")
+	}
+	p4 := NewProgram("empty")
+	if p4.Err() == nil {
+		t.Fatal("empty program not rejected")
+	}
+}
+
+func TestMatrixSmall(t *testing.T) {
+	m, err := RunMatrix(MatrixConfig{
+		Policies:  []Policy{PolicyFIFO, PolicyCATA},
+		FastCores: []int{2, 4},
+		Workloads: []string{"swaptions"},
+		Cores:     8,
+		Seeds:     []uint64{42},
+		Scale:     0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Speedup("swaptions", PolicyFIFO, 4); v != 1 {
+		t.Fatalf("FIFO speedup = %v", v)
+	}
+	if v := m.Speedup("swaptions", PolicyCATA, 4); v <= 0 {
+		t.Fatalf("CATA speedup = %v", v)
+	}
+	if v := m.AvgNormEDP(PolicyCATA, 4); v <= 0 {
+		t.Fatalf("CATA avg EDP = %v", v)
+	}
+	for _, tbl := range []string{m.SpeedupTable(), m.EDPTable()} {
+		if !strings.Contains(tbl, "swaptions") || !strings.Contains(tbl, "average") {
+			t.Fatalf("table malformed:\n%s", tbl)
+		}
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	if !strings.Contains(RSUCostTable(), "103") {
+		t.Fatal("RSU cost table missing 32-core bits")
+	}
+	if !strings.Contains(TableI(), "25µs") {
+		t.Fatal("Table I missing transition latency")
+	}
+}
+
+func TestVCAnalysisTable(t *testing.T) {
+	tbl, err := VCAnalysisTable(4, 42, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl, "fluidanimate") || !strings.Contains(tbl, "overhead") {
+		t.Fatalf("VC table malformed:\n%s", tbl)
+	}
+}
+
+func TestClaimsPlumbing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix in -short mode")
+	}
+	m, err := RunMatrix(MatrixConfig{
+		Policies:  AllPolicies(),
+		FastCores: []int{4},
+		Workloads: []string{"swaptions", "dedup", "bodytrack", "ferret", "blackscholes", "fluidanimate"},
+		Cores:     8,
+		Seeds:     []uint64{42},
+		Scale:     0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := m.Claims()
+	if len(cs) == 0 {
+		t.Fatal("no claims evaluated")
+	}
+	out := ClaimsTable(cs)
+	if !strings.Contains(out, "CATA") {
+		t.Fatalf("claims table malformed:\n%s", out)
+	}
+}
+
+func TestExportDOTBuiltinWorkloads(t *testing.T) {
+	for _, w := range []string{"dedup", "fluidanimate"} {
+		var buf bytes.Buffer
+		if err := ExportDOT(&buf, w, 42, 0.1, nil); err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "digraph tdg") || !strings.Contains(out, "->") {
+			t.Fatalf("%s: DOT lacks structure:\n%.200s", w, out)
+		}
+	}
+	if err := ExportDOT(&bytes.Buffer{}, "nope", 0, 0, nil); err == nil {
+		t.Fatal("unknown workload exported")
+	}
+}
+
+func TestExtensionPoliciesPublic(t *testing.T) {
+	if len(ExtensionPolicies()) != 2 {
+		t.Fatal("extension policies wrong")
+	}
+	for _, p := range ExtensionPolicies() {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v failed", p)
+		}
+		res, err := Run(RunConfig{Workload: "dedup", Policy: p, FastCores: 2, Cores: 4, Scale: 0.05})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.TasksRun == 0 {
+			t.Fatalf("%v ran no tasks", p)
+		}
+	}
+}
+
+func TestTraceToPublic(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Run(RunConfig{
+		Workload: "swaptions", Policy: PolicyCATA, FastCores: 2, Cores: 4,
+		Scale: 0.05, TraceTo: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgUtilization <= 0 {
+		t.Fatal("no utilization")
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatal("trace not written")
+	}
+}

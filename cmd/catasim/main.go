@@ -1,0 +1,123 @@
+// Command catasim runs one CATA simulation: a workload under a policy
+// with a fast-core budget, printing the measured execution time, energy,
+// EDP and reconfiguration statistics.
+//
+// Examples:
+//
+//	catasim -workload dedup -policy CATA -fast 16
+//	catasim -workload fluidanimate -policy CATA+RSU -fast 24 -seed 7
+//	catasim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cata"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "swaptions", "benchmark name (see -list)")
+		policy   = flag.String("policy", "CATA", "FIFO | CATS+BL | CATS+SA | CATA | CATA+RSU | TurboMode")
+		fast     = flag.Int("fast", 16, "power budget (fast cores)")
+		cores    = flag.Int("cores", 32, "machine size")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		scale    = flag.Float64("scale", 1.0, "workload scale in (0,1]")
+		list     = flag.Bool("list", false, "list built-in workloads and exit")
+		baseline = flag.Bool("baseline", false, "also run FIFO and report speedup / normalized EDP")
+		traceOut = flag.String("trace", "", "write a Chrome trace JSON of the run to this file")
+		dotOut   = flag.String("dot", "", "write the workload's TDG as Graphviz DOT to this file and exit")
+		timeline = flag.Bool("timeline", false, "print a per-core ASCII Gantt chart of the run")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range cata.Workloads() {
+			fmt.Printf("%-14s %5d tasks  %s\n", w.Name, w.Tasks, w.Description)
+		}
+		return
+	}
+
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := cata.ExportDOT(f, *workload, *seed, *scale, nil); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("TDG of %s written to %s\n", *workload, *dotOut)
+		return
+	}
+
+	pol, err := cata.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := cata.RunConfig{
+		Workload: *workload, Policy: pol,
+		FastCores: *fast, Cores: *cores, Seed: *seed, Scale: *scale,
+	}
+	if *timeline {
+		cfg.TimelineTo = os.Stdout
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		cfg.TraceTo = f
+	}
+	res, err := cata.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing)\n", *traceOut)
+	}
+
+	fmt.Printf("%s on %d cores (%d fast) under %v, seed %d, scale %g\n",
+		*workload, *cores, *fast, pol, *seed, *scale)
+	fmt.Printf("  execution time        %v\n", res.Makespan)
+	fmt.Printf("  energy                %.4f J\n", res.Joules)
+	fmt.Printf("  EDP                   %.6f Js\n", res.EDP)
+	fmt.Printf("  tasks run             %d (%d critical)\n", res.TasksRun, res.CriticalTasks)
+	fmt.Printf("  avg core utilization  %.1f%%\n", res.AvgUtilization*100)
+	fmt.Printf("  DVFS transitions      %d\n", res.Transitions)
+	if res.ReconfigOps > 0 {
+		fmt.Printf("  reconfiguration ops   %d\n", res.ReconfigOps)
+		if res.ReconfigLatencyAvg > 0 {
+			fmt.Printf("  reconfig latency      avg %v, max %v\n", res.ReconfigLatencyAvg, res.ReconfigLatencyMax)
+			fmt.Printf("  worst lock wait       %v\n", res.MaxLockWait)
+			fmt.Printf("  reconfig overhead     %.2f%%\n", res.ReconfigOverheadPct)
+		}
+	}
+	if res.Inversions > 0 {
+		fmt.Printf("  priority inversions   %d\n", res.Inversions)
+	}
+
+	if *baseline && pol != cata.PolicyFIFO {
+		cfg.Policy = cata.PolicyFIFO
+		base, err := cata.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  vs FIFO               speedup %.3f, normalized EDP %.3f\n",
+			float64(base.Makespan)/float64(res.Makespan), res.EDP/base.EDP)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "catasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command catasweep runs the ablation sweeps that probe the design
+// choices DESIGN.md calls out, beyond the paper's headline matrix:
+//
+//	-sweep budget       power budget 2..30 fast cores (CATA, CATA+RSU, TurboMode)
+//	-sweep latency      DVFS transition latency 1µs..400µs (CATA vs CATA+RSU)
+//	-sweep granularity  workload scale 0.2..1.0 (task-count sensitivity)
+//	-sweep seeds        seed sensitivity of the headline speedups
+//
+// Each sweep prints one row per parameter value with speedup over FIFO at
+// the matching configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cata"
+)
+
+func main() {
+	var (
+		sweep    = flag.String("sweep", "budget", "budget | latency | granularity | seeds | extensions")
+		workload = flag.String("workload", "swaptions", "benchmark to sweep")
+		fast     = flag.Int("fast", 16, "fast cores (fixed for non-budget sweeps)")
+		scale    = flag.Float64("scale", 1.0, "workload scale (fixed for non-granularity sweeps)")
+	)
+	flag.Parse()
+
+	switch *sweep {
+	case "budget":
+		sweepBudget(*workload, *scale)
+	case "latency":
+		sweepLatency(*workload, *fast, *scale)
+	case "granularity":
+		sweepGranularity(*workload, *fast)
+	case "seeds":
+		sweepSeeds(*workload, *fast, *scale)
+	case "extensions":
+		sweepExtensions(*workload, *fast, *scale)
+	default:
+		fmt.Fprintf(os.Stderr, "catasweep: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+}
+
+// run executes one config and returns speedup vs FIFO plus normalized EDP.
+func run(cfg cata.RunConfig) (speedup, edp float64) {
+	res, err := cata.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	base := cfg
+	base.Policy = cata.PolicyFIFO
+	base.TransitionLatency = 0
+	baseRes, err := cata.Run(base)
+	if err != nil {
+		fatal(err)
+	}
+	return float64(baseRes.Makespan) / float64(res.Makespan), res.EDP / baseRes.EDP
+}
+
+func sweepBudget(workload string, scale float64) {
+	fmt.Printf("power-budget sweep on %s (speedup over FIFO at equal budget / norm. EDP)\n", workload)
+	fmt.Printf("%-8s %18s %18s %18s\n", "fast", "CATA", "CATA+RSU", "TurboMode")
+	for _, fast := range []int{2, 4, 8, 12, 16, 20, 24, 28, 30} {
+		fmt.Printf("%-8d", fast)
+		for _, p := range []cata.Policy{cata.PolicyCATA, cata.PolicyCATARSU, cata.PolicyTurboMode} {
+			s, e := run(cata.RunConfig{Workload: workload, Policy: p, FastCores: fast, Scale: scale})
+			fmt.Printf("     %6.3f / %5.3f", s, e)
+		}
+		fmt.Println()
+	}
+}
+
+func sweepLatency(workload string, fast int, scale float64) {
+	fmt.Printf("DVFS transition-latency sweep on %s at %d fast cores\n", workload, fast)
+	fmt.Printf("%-12s %18s %18s\n", "latency", "CATA", "CATA+RSU")
+	for _, lat := range []time.Duration{
+		1 * time.Microsecond, 5 * time.Microsecond, 25 * time.Microsecond,
+		100 * time.Microsecond, 400 * time.Microsecond,
+	} {
+		fmt.Printf("%-12v", lat)
+		for _, p := range []cata.Policy{cata.PolicyCATA, cata.PolicyCATARSU} {
+			s, e := run(cata.RunConfig{
+				Workload: workload, Policy: p, FastCores: fast,
+				Scale: scale, TransitionLatency: lat,
+			})
+			fmt.Printf("     %6.3f / %5.3f", s, e)
+		}
+		fmt.Println()
+	}
+}
+
+func sweepGranularity(workload string, fast int) {
+	fmt.Printf("granularity sweep on %s at %d fast cores (scale shrinks task count)\n", workload, fast)
+	fmt.Printf("%-8s %18s %18s\n", "scale", "CATA", "CATA+RSU")
+	for _, scale := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		fmt.Printf("%-8.1f", scale)
+		for _, p := range []cata.Policy{cata.PolicyCATA, cata.PolicyCATARSU} {
+			s, e := run(cata.RunConfig{Workload: workload, Policy: p, FastCores: fast, Scale: scale})
+			fmt.Printf("     %6.3f / %5.3f", s, e)
+		}
+		fmt.Println()
+	}
+}
+
+func sweepSeeds(workload string, fast int, scale float64) {
+	fmt.Printf("seed sensitivity on %s at %d fast cores\n", workload, fast)
+	fmt.Printf("%-8s %18s %18s\n", "seed", "CATA", "CATA+RSU")
+	for _, seed := range []uint64{1, 7, 42, 1337, 2024} {
+		fmt.Printf("%-8d", seed)
+		for _, p := range []cata.Policy{cata.PolicyCATA, cata.PolicyCATARSU} {
+			s, e := run(cata.RunConfig{Workload: workload, Policy: p, FastCores: fast, Seed: seed, Scale: scale})
+			fmt.Printf("     %6.3f / %5.3f", s, e)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "catasweep:", err)
+	os.Exit(1)
+}
+
+// sweepExtensions compares the paper's CATA+RSU against the two
+// beyond-the-paper extensions at a fixed budget.
+func sweepExtensions(workload string, fast int, scale float64) {
+	fmt.Printf("extension comparison on %s at %d fast cores\n", workload, fast)
+	fmt.Printf("%-14s %18s\n", "policy", "speedup / EDP")
+	for _, p := range []cata.Policy{cata.PolicyCATARSU, cata.PolicyCATARSUHA, cata.PolicyCATA3L} {
+		s, e := run(cata.RunConfig{Workload: workload, Policy: p, FastCores: fast, Scale: scale})
+		fmt.Printf("%-14v     %6.3f / %5.3f\n", p, s, e)
+	}
+}

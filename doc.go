@@ -1,0 +1,36 @@
+// Package cata is a reproduction of "CATA: Criticality Aware Task
+// Acceleration for Multicore Processors" (Castillo et al., IPDPS 2016) as
+// a self-contained Go library.
+//
+// The paper co-designs a task-based runtime system with per-core DVFS: the
+// runtime knows which tasks are critical (via static annotations or
+// dynamic bottom-level analysis of the task dependence graph) and uses
+// that knowledge either to schedule critical tasks onto fast cores (CATS)
+// or to reconfigure core frequencies so the cores running critical tasks
+// are the fast ones (CATA), under a fixed power budget. A small hardware
+// unit (the RSU) removes the software reconfiguration bottleneck.
+//
+// This package is the public API over a full behavioral simulation stack
+// (see DESIGN.md): a picosecond discrete-event engine, a 32-core machine
+// model with dual-rail DVFS and ACPI C-states, an analytic power model, a
+// cpufreq software stack with lock contention, the runtime system with
+// all five scheduling/acceleration policies of the paper plus a TurboMode
+// comparator, and synthetic generators for the six PARSECSs benchmarks.
+//
+// Quick start:
+//
+//	res, err := cata.Run(cata.RunConfig{
+//		Workload:  "swaptions",
+//		Policy:    cata.PolicyCATA,
+//		FastCores: 16,
+//	})
+//	fmt.Println(res.Makespan, res.Joules)
+//
+// To regenerate the paper's evaluation (Figures 4 and 5):
+//
+//	m, err := cata.RunMatrix(cata.MatrixConfig{Policies: cata.AllPolicies()})
+//	fmt.Println(m.SpeedupTable())
+//	fmt.Println(m.EDPTable())
+//
+// Custom task graphs are built with NewProgram; see examples/customworkload.
+package cata

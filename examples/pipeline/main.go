@@ -1,0 +1,62 @@
+// Pipeline: evaluate every policy on dedup, the paper's best case for
+// criticality-aware scheduling (§V-A): a serial fragmenter feeds parallel
+// compression, and a serial in-order writer with blocking IO sits on the
+// critical path. Criticality-aware policies place/accelerate the two
+// serial chains; criticality-blind ones cannot tell them apart from the
+// bulk compression work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cata"
+)
+
+func main() {
+	const workload = "dedup"
+	fmt.Printf("%s across all policies (normalized to FIFO at equal budget)\n\n", workload)
+	fmt.Printf("%-12s", "fast cores")
+	for _, p := range cata.AllPolicies() {
+		fmt.Printf(" %10s", p)
+	}
+	fmt.Println()
+
+	for _, fast := range []int{8, 16, 24} {
+		base, err := cata.Run(cata.RunConfig{
+			Workload: workload, Policy: cata.PolicyFIFO, FastCores: fast,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12d", fast)
+		for _, p := range cata.AllPolicies() {
+			res, err := cata.Run(cata.RunConfig{
+				Workload: workload, Policy: p, FastCores: fast,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %10.3f", float64(base.Makespan)/float64(res.Makespan))
+		}
+		fmt.Println()
+	}
+
+	// Show why: inversions under FIFO vs CATS.
+	fifo, err := cata.Run(cata.RunConfig{Workload: workload, Policy: cata.PolicyFIFO, FastCores: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cats, err := cata.Run(cata.RunConfig{Workload: workload, Policy: cata.PolicyCATSSA, FastCores: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthe two §II-C misbehaviors at 8 fast cores:\n")
+	fmt.Printf("  priority inversions  FIFO: %d of %d critical tasks; CATS+SA: %d\n",
+		fifo.Inversions, fifo.CriticalTasks, cats.Inversions)
+	fmt.Printf("  static binding       FIFO: %d events; CATS+SA: %d events\n",
+		fifo.StaticBindingEvents, cats.StaticBindingEvents)
+	fmt.Println("  (on dedup CATS keeps the critical chains on fast cores, avoiding")
+	fmt.Println("  both; under HPRQ contention critical tasks steal onto slow cores")
+	fmt.Println("  and static binding returns — only CATA reconfigures its way out)")
+}

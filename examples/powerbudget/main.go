@@ -1,0 +1,42 @@
+// Powerbudget: sweep the power budget (the maximum number of
+// simultaneously fast cores) and watch where criticality-aware
+// acceleration pays most. At tiny budgets there is little to steer; at
+// near-full budgets the heterogeneity disappears; the interesting regime
+// is in between — which is why the paper evaluates 8, 16 and 24 of 32.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cata"
+)
+
+func main() {
+	const workload = "bodytrack" // serial resample chain: steering matters
+	fmt.Printf("power-budget sweep on %s (speedup over FIFO at equal budget)\n\n", workload)
+	fmt.Printf("%-8s %10s %10s %10s\n", "budget", "CATA", "CATA+RSU", "TurboMode")
+
+	for _, fast := range []int{2, 4, 8, 12, 16, 20, 24, 28} {
+		base, err := cata.Run(cata.RunConfig{
+			Workload: workload, Policy: cata.PolicyFIFO, FastCores: fast,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d", fast)
+		for _, p := range []cata.Policy{cata.PolicyCATA, cata.PolicyCATARSU, cata.PolicyTurboMode} {
+			res, err := cata.Run(cata.RunConfig{
+				Workload: workload, Policy: p, FastCores: fast,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %10.3f", float64(base.Makespan)/float64(res.Makespan))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nTurboMode is criticality-blind: it hands the budget to random")
+	fmt.Println("active cores, so on this pipeline it trails the CATA variants,")
+	fmt.Println("which accelerate the serial resample chain directly (§V-D).")
+}

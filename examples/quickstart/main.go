@@ -1,0 +1,41 @@
+// Quickstart: run one benchmark under the baseline FIFO scheduler and
+// under CATA, and compare execution time, energy and EDP — the paper's
+// core result in ~30 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cata"
+)
+
+func main() {
+	const (
+		workload  = "swaptions" // imbalanced fork-join: CATA's best case
+		fastCores = 16          // power budget: 16 of 32 cores may run fast
+	)
+
+	fifo, err := cata.Run(cata.RunConfig{
+		Workload: workload, Policy: cata.PolicyFIFO, FastCores: fastCores,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cataRes, err := cata.Run(cata.RunConfig{
+		Workload: workload, Policy: cata.PolicyCATA, FastCores: fastCores,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on a 32-core machine, %d-fast-core power budget\n\n", workload, fastCores)
+	fmt.Printf("%-22s %14s %12s %14s\n", "policy", "exec time", "energy", "EDP")
+	fmt.Printf("%-22s %14v %10.3f J %11.4f Js\n", "FIFO (baseline)", fifo.Makespan, fifo.Joules, fifo.EDP)
+	fmt.Printf("%-22s %14v %10.3f J %11.4f Js\n", "CATA", cataRes.Makespan, cataRes.Joules, cataRes.EDP)
+	fmt.Printf("\nCATA speedup:        %.3fx\n", float64(fifo.Makespan)/float64(cataRes.Makespan))
+	fmt.Printf("CATA normalized EDP: %.3f (lower is better)\n", cataRes.EDP/fifo.EDP)
+	fmt.Printf("\nCATA performed %d DVFS reconfigurations (avg latency %v),\n",
+		cataRes.ReconfigOps, cataRes.ReconfigLatencyAvg)
+	fmt.Printf("moving the power budget onto straggler tasks near barriers.\n")
+}

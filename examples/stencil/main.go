@@ -1,0 +1,58 @@
+// Stencil: fluidanimate, the workload where the two criticality
+// estimators of §II-B diverge. The dense 9-parent task graph makes the
+// dynamic bottom-level estimator pay TDG-exploration costs on the master
+// thread, while static annotations are free — and the wavefront imbalance
+// is where CATA's budget reassignment (and the RSU's cheap
+// reconfigurations) pay off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cata"
+)
+
+func run(p cata.Policy, fast int) cata.Result {
+	res, err := cata.Run(cata.RunConfig{
+		Workload: "fluidanimate", Policy: p, FastCores: fast,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	const fast = 16
+	fmt.Printf("fluidanimate at %d fast cores\n\n", fast)
+
+	base := run(cata.PolicyFIFO, fast)
+	fmt.Printf("%-12s %14s %10s %12s\n", "policy", "exec time", "speedup", "norm. EDP")
+	for _, p := range []cata.Policy{
+		cata.PolicyFIFO, cata.PolicyCATSBL, cata.PolicyCATSSA,
+		cata.PolicyCATA, cata.PolicyCATARSU,
+	} {
+		res := run(p, fast)
+		fmt.Printf("%-12v %14v %10.3f %12.3f\n", p, res.Makespan,
+			float64(base.Makespan)/float64(res.Makespan), res.EDP/base.EDP)
+	}
+
+	bl := run(cata.PolicyCATSBL, fast)
+	sa := run(cata.PolicyCATSSA, fast)
+	fmt.Printf("\nestimator comparison (§II-B):\n")
+	fmt.Printf("  CATS+BL marked %d tasks critical dynamically; CATS+SA %d statically.\n",
+		bl.CriticalTasks, sa.CriticalTasks)
+	fmt.Printf("  The bottom-level walk runs on the master thread at every task\n")
+	fmt.Printf("  creation — on dense stencils the static annotations win (§V-A).\n")
+
+	sw := run(cata.PolicyCATA, fast)
+	hw := run(cata.PolicyCATARSU, fast)
+	fmt.Printf("\nreconfiguration cost (§V-C):\n")
+	fmt.Printf("  software CATA: %d ops, avg %v, worst lock wait %v, overhead %.2f%%\n",
+		sw.ReconfigOps, sw.ReconfigLatencyAvg, sw.MaxLockWait, sw.ReconfigOverheadPct)
+	fmt.Printf("  CATA+RSU:      %d ops in hardware, no locks — speedup %.3f vs %.3f\n",
+		hw.ReconfigOps,
+		float64(base.Makespan)/float64(hw.Makespan),
+		float64(base.Makespan)/float64(sw.Makespan))
+}

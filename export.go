@@ -1,0 +1,62 @@
+package cata
+
+import (
+	"fmt"
+	"io"
+
+	"cata/internal/program"
+	"cata/internal/tdg"
+	"cata/internal/workloads"
+)
+
+// ExportDOT writes the task dependence graph of a built-in workload (or a
+// custom Program, if p is non-nil) as a Graphviz digraph, with critical
+// types drawn as boxes — the Figure 1 visualization. Barriers are not
+// edges in the TDG and are omitted; the graph shows data dependences only.
+func ExportDOT(w io.Writer, workloadName string, seed uint64, scale float64, p *Program) error {
+	var prog *program.Program
+	if p != nil {
+		if err := p.Err(); err != nil {
+			return err
+		}
+		prog = p.build()
+	} else {
+		wl, err := workloads.ByName(workloadName)
+		if err != nil {
+			return err
+		}
+		if seed == 0 {
+			seed = 42
+		}
+		if scale == 0 {
+			scale = 1.0
+		}
+		prog = wl.Build(seed, scale)
+	}
+
+	g := tdg.New(nil)
+	var tasks []*tdg.Task
+	id := 0
+	for _, it := range prog.Items {
+		if it.Task == nil {
+			continue
+		}
+		t := &tdg.Task{
+			ID:        id,
+			Type:      it.Task.Type,
+			CPUCycles: it.Task.CPUCycles,
+			MemTime:   it.Task.MemTime,
+			IOTime:    it.Task.IOTime,
+			Ins:       it.Task.Ins,
+			Outs:      it.Task.Outs,
+		}
+		t.Critical = it.Task.Type != nil && it.Task.Type.Criticality > 0
+		id++
+		g.Submit(t)
+		tasks = append(tasks, t)
+	}
+	if len(tasks) == 0 {
+		return fmt.Errorf("cata: nothing to export")
+	}
+	return tdg.WriteDOT(w, tasks)
+}

@@ -1,0 +1,218 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cata/internal/sim"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultPoints(t *testing.T) {
+	m := Default()
+	if m.Levels() != 2 {
+		t.Fatalf("Levels = %d, want 2 (dual-rail)", m.Levels())
+	}
+	fast := m.Point(Fast)
+	slow := m.Point(Slow)
+	if fast.Freq != 2*sim.Gigahertz || fast.Voltage != 1.0 {
+		t.Fatalf("Fast point = %v, want 2GHz@1V (Table I)", fast)
+	}
+	if slow.Freq != 1*sim.Gigahertz || slow.Voltage != 0.8 {
+		t.Fatalf("Slow point = %v, want 1GHz@0.8V (Table I)", slow)
+	}
+}
+
+func TestDynamicPowerScaling(t *testing.T) {
+	m := Default()
+	fast := m.DynamicWatts(Fast, 1)
+	slow := m.DynamicWatts(Slow, 1)
+	// V²f: (0.8² x 1GHz)/(1.0² x 2GHz) = 0.32
+	ratio := slow / fast
+	if math.Abs(ratio-0.32) > 1e-9 {
+		t.Fatalf("slow/fast dynamic ratio = %v, want 0.32", ratio)
+	}
+	if math.Abs(fast-2.5) > 1e-9 {
+		t.Fatalf("fast dynamic = %v W, calibration says 2.5", fast)
+	}
+}
+
+func TestLeakScaling(t *testing.T) {
+	m := Default()
+	if got := m.LeakWatts(Fast); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("leak@1.0V = %v", got)
+	}
+	// (0.8)³ × 0.75 = 0.384.
+	if got := m.LeakWatts(Slow); math.Abs(got-0.384) > 1e-12 {
+		t.Fatalf("leak@0.8V = %v", got)
+	}
+}
+
+func TestCStateOrdering(t *testing.T) {
+	m := Default()
+	for _, l := range []Level{Slow, Fast} {
+		active := m.CoreWatts(l, C0Active)
+		idle := m.CoreWatts(l, C0Idle)
+		halt := m.CoreWatts(l, C1Halt)
+		sleep := m.CoreWatts(l, C3Sleep)
+		if !(active > idle && idle > halt && halt > sleep && sleep > 0) {
+			t.Fatalf("C-state power not strictly ordered at level %d: %v %v %v %v",
+				l, active, idle, halt, sleep)
+		}
+	}
+}
+
+func TestCStateString(t *testing.T) {
+	if C0Active.String() != "C0" || C1Halt.String() != "C1" || C3Sleep.String() != "C3" {
+		t.Fatal("CState strings wrong")
+	}
+	if C0Idle.String() != "C0-idle" {
+		t.Fatal("C0Idle string wrong")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []*Model{
+		{Points: []OperatingPoint{{1 * sim.Gigahertz, 1}}},
+		func() *Model { m := Default(); m.Points[0].Voltage = -1; return m }(),
+		func() *Model { m := Default(); m.CeffFarads = 0; return m }(),
+		func() *Model { m := Default(); m.IdleActivity = 1.5; return m }(),
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d validated", i)
+		}
+	}
+}
+
+func TestMeterIntegration(t *testing.T) {
+	m := Default()
+	var now sim.Time
+	clk := func() sim.Time { return now }
+	meter := NewMeter(m, 2, clk)
+
+	// Core 0 active at Fast for 1 ms, core 1 stays C0Idle at Slow.
+	meter.SetState(0, Fast, C0Active)
+	now = sim.Millisecond
+	total := meter.Finish()
+
+	want := m.CoreWatts(Fast, C0Active)*1e-3 + // core 0 active 1ms
+		m.CoreWatts(Slow, C0Idle)*1e-3 + // core 1 idle 1ms
+		m.UncoreWattsPerCore*2*1e-3 // uncore
+	// Core 0's initial C0Idle interval has zero length (state change at t=0).
+	if math.Abs(total-want) > 1e-12 {
+		t.Fatalf("energy = %v, want %v", total, want)
+	}
+}
+
+func TestMeterPiecewise(t *testing.T) {
+	m := Default()
+	var now sim.Time
+	meter := NewMeter(m, 1, func() sim.Time { return now })
+
+	meter.SetState(0, Slow, C0Active)
+	now = 500 * sim.Microsecond
+	meter.SetState(0, Fast, C0Active) // charge 500µs at slow-active
+	now = sim.Millisecond
+	joules := meter.Finish() // charge 500µs at fast-active
+
+	want := m.CoreWatts(Slow, C0Active)*0.5e-3 +
+		m.CoreWatts(Fast, C0Active)*0.5e-3 +
+		m.UncoreWattsPerCore*1e-3
+	if math.Abs(joules-want) > 1e-12 {
+		t.Fatalf("energy = %v, want %v", joules, want)
+	}
+}
+
+func TestMeterStateQuery(t *testing.T) {
+	meter := NewMeter(Default(), 1, func() sim.Time { return 0 })
+	l, c := meter.State(0)
+	if l != Slow || c != C0Idle {
+		t.Fatalf("initial state = %v,%v", l, c)
+	}
+	meter.SetState(0, Fast, C1Halt)
+	l, c = meter.State(0)
+	if l != Fast || c != C1Halt {
+		t.Fatalf("state after set = %v,%v", l, c)
+	}
+}
+
+func TestMeterFinishTwicePanics(t *testing.T) {
+	meter := NewMeter(Default(), 1, func() sim.Time { return 0 })
+	meter.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Finish did not panic")
+		}
+	}()
+	meter.Finish()
+}
+
+func TestMeterBackwardsTimePanics(t *testing.T) {
+	now := sim.Millisecond
+	meter := NewMeter(Default(), 1, func() sim.Time { return now })
+	now = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time did not panic")
+		}
+	}()
+	meter.SetState(0, Fast, C0Active)
+}
+
+func TestEDP(t *testing.T) {
+	if got := EDP(2, 3*sim.Second); got != 6 {
+		t.Fatalf("EDP = %v, want 6", got)
+	}
+}
+
+// Property: for any sequence of state changes at non-decreasing times,
+// total core energy is bounded by [minPower*T, maxPower*T].
+func TestMeterEnergyBounds(t *testing.T) {
+	m := Default()
+	minW := m.CoreWatts(Slow, C3Sleep)
+	maxW := m.CoreWatts(Fast, C0Active)
+	f := func(steps []uint16) bool {
+		var now sim.Time
+		meter := NewMeter(m, 1, func() sim.Time { return now })
+		for i, s := range steps {
+			now += sim.Time(s) * sim.Nanosecond
+			meter.SetState(0, Level(i%2), CState(int(s)%4))
+		}
+		now += sim.Microsecond
+		total := meter.Finish()
+		elapsed := now.Seconds()
+		coreEnergy := total - m.UncoreWattsPerCore*elapsed
+		return coreEnergy >= minW*elapsed-1e-12 && coreEnergy <= maxW*elapsed+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Point(99) did not panic")
+		}
+	}()
+	Default().Point(99)
+}
+
+func TestMeterJoulesMidRun(t *testing.T) {
+	var now sim.Time
+	meter := NewMeter(Default(), 1, func() sim.Time { return now })
+	meter.SetState(0, Fast, C0Active)
+	now = sim.Millisecond
+	meter.SetState(0, Slow, C0Idle) // closes the active interval
+	if meter.Joules() <= 0 {
+		t.Fatal("Joules() returned nothing mid-run")
+	}
+	meter.Finish()
+}

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the matrix as long-form CSV — one row per (workload,
+// policy, fast-cores) cell with both normalized metrics and the raw
+// first-seed measurement — the format external plotting reads directly.
+func (m *Matrix) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"workload", "policy", "fast_cores",
+		"speedup", "norm_edp",
+		"makespan_ms", "joules", "edp_js",
+		"tasks", "reconfig_ops", "transitions",
+		"inversions", "static_binding", "avg_utilization",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	policies := m.Policies
+	hasFIFO := false
+	for _, p := range policies {
+		if p == FIFO {
+			hasFIFO = true
+		}
+	}
+	if !hasFIFO {
+		policies = append([]Policy{FIFO}, policies...)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, wl := range m.Workloads {
+		for _, p := range policies {
+			for _, fc := range m.FastCores {
+				cell, ok := m.Cell(wl, p, fc)
+				if !ok {
+					return fmt.Errorf("exp: missing cell %s/%v/%d", wl, p, fc)
+				}
+				row := []string{
+					wl, p.String(), strconv.Itoa(fc),
+					f(m.Speedup(wl, p, fc)), f(m.NormEDP(wl, p, fc)),
+					f(cell.Makespan.Millis()), f(cell.Joules), f(cell.EDP),
+					strconv.FormatInt(cell.TasksRun, 10),
+					strconv.FormatInt(cell.ReconfigOps, 10),
+					strconv.FormatInt(cell.Transitions, 10),
+					strconv.FormatInt(cell.Inversions, 10),
+					strconv.FormatInt(cell.StaticBinding, 10),
+					f(cell.AvgUtilization),
+				}
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,194 @@
+// Package exp is the experiment harness: it wires complete system
+// configurations (machine + scheduler + estimator + reconfiguration
+// mechanism), runs workloads across the paper's evaluation matrix, and
+// renders the tables behind Figure 4, Figure 5 and the §V-C analysis.
+package exp
+
+import (
+	"fmt"
+
+	"cata/internal/cpufreq"
+	"cata/internal/machine"
+	"cata/internal/rsm"
+	"cata/internal/rsu"
+	"cata/internal/rts"
+	"cata/internal/sched"
+	"cata/internal/sim"
+	"cata/internal/turbo"
+	"cata/internal/xrand"
+)
+
+// Policy is one evaluated system configuration.
+type Policy int
+
+const (
+	// FIFO: baseline FIFO scheduler on a statically heterogeneous
+	// machine (N fast cores); criticality-blind (§II-C).
+	FIFO Policy = iota
+	// CATSBL: CATS scheduler with dynamic bottom-level criticality [24].
+	CATSBL
+	// CATSSA: CATS scheduler with static criticality annotations.
+	CATSSA
+	// CATA: criticality-aware task acceleration in software — CritFirst
+	// scheduling plus RSM-driven DVFS through the cpufreq stack (§III-A).
+	CATA
+	// CATARSU: CATA with the hardware Runtime Support Unit (§III-B).
+	CATARSU
+	// TURBO: criticality-blind TurboMode [18] on the FIFO scheduler.
+	TURBO
+	// CATARSUHA: extension beyond the paper — CATA+RSU that releases the
+	// budget of cores halted in kernel services and restores it on wake,
+	// closing the §V-D gap the paper concedes to TurboMode.
+	CATARSUHA
+	// CATA3L: extension beyond the paper — the multi-level acceleration
+	// §III leaves as future work: three operating points with a
+	// power-unit budget (fast = 2 units, mid = 1).
+	CATA3L
+)
+
+// Fig4Policies are the software-only configurations of Figure 4.
+func Fig4Policies() []Policy { return []Policy{FIFO, CATSBL, CATSSA, CATA} }
+
+// Fig5Policies are the configurations of Figure 5 (FIFO is run implicitly
+// as the normalization baseline).
+func Fig5Policies() []Policy { return []Policy{CATA, CATARSU, TURBO} }
+
+// AllPolicies returns every paper-evaluated policy once (the HA extension
+// is opt-in; see ExtensionPolicies).
+func AllPolicies() []Policy {
+	return []Policy{FIFO, CATSBL, CATSSA, CATA, CATARSU, TURBO}
+}
+
+// ExtensionPolicies returns the beyond-the-paper configurations.
+func ExtensionPolicies() []Policy { return []Policy{CATARSUHA, CATA3L} }
+
+// String implements fmt.Stringer with the paper's labels.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "FIFO"
+	case CATSBL:
+		return "CATS+BL"
+	case CATSSA:
+		return "CATS+SA"
+	case CATA:
+		return "CATA"
+	case CATARSU:
+		return "CATA+RSU"
+	case TURBO:
+		return "TurboMode"
+	case CATARSUHA:
+		return "CATA+RSU-HA"
+	case CATA3L:
+		return "CATA+RSU-3L"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a paper label (case-sensitive, as printed by
+// String) to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range append(AllPolicies(), ExtensionPolicies()...) {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("exp: unknown policy %q", s)
+}
+
+// rig is one fully wired system, ready to run.
+type rig struct {
+	eng     *sim.Engine
+	mach    *machine.Machine
+	runtime *rts.Runtime
+
+	// Non-nil depending on policy, for statistics harvesting.
+	rsmMod  *rsm.RSM
+	rsuUnit *rsu.RSU
+	mlUnit  *rsu.MultiLevel
+	turboC  *turbo.Controller
+	fw      *cpufreq.Framework
+}
+
+// buildRig assembles the policy's full stack for one run.
+func buildRig(spec RunSpec, prog programHolder) (*rig, error) {
+	eng := sim.NewEngine()
+	mcfg := machine.TableIConfig()
+	mcfg.Cores = spec.Cores
+	if spec.TransitionLatency > 0 {
+		mcfg.TransitionLatency = spec.TransitionLatency
+	}
+	if spec.Policy == CATA3L {
+		// The multi-level extension adds an intermediate operating point.
+		mcfg.Power = rsu.ThreeLevelModel()
+		mcfg.SlowLevel = 0
+		mcfg.FastLevel = 2
+	}
+	mach, err := machine.New(eng, mcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	opts := rts.DefaultOptions()
+	opts.MaxSimTime = spec.MaxSimTime
+	opts.RetainTasks = spec.Trace != nil || spec.Timeline != nil
+	cfg := rts.Config{
+		Machine:   mach,
+		Program:   prog.prog,
+		Estimator: sched.StaticAnnotations{},
+		Options:   opts,
+	}
+	r := &rig{eng: eng, mach: mach}
+
+	switch spec.Policy {
+	case FIFO:
+		mach.SetHeterogeneous(spec.FastCores)
+		cfg.NewScheduler = func(info sched.CoreInfo) sched.Scheduler { return sched.NewFIFO(info) }
+	case CATSBL:
+		mach.SetHeterogeneous(spec.FastCores)
+		cfg.Estimator = sched.NewBottomLevel()
+		cfg.Options.ClassAwareWake = true
+		cfg.NewScheduler = func(info sched.CoreInfo) sched.Scheduler { return sched.NewCATS(info) }
+	case CATSSA:
+		mach.SetHeterogeneous(spec.FastCores)
+		cfg.Options.ClassAwareWake = true
+		cfg.NewScheduler = func(info sched.CoreInfo) sched.Scheduler { return sched.NewCATS(info) }
+	case CATA:
+		r.fw = cpufreq.New(eng, mach, cpufreq.DefaultCosts())
+		r.rsmMod = rsm.New(eng, mach, r.fw, spec.FastCores)
+		cfg.Reconfig = rts.RSMReconfig{RSM: r.rsmMod}
+		cfg.NewScheduler = func(sched.CoreInfo) sched.Scheduler { return sched.NewCritFirst() }
+	case CATARSU:
+		r.rsuUnit = rsu.New(eng, mach)
+		r.rsuUnit.Init(spec.FastCores)
+		cfg.Reconfig = rts.RSUReconfig{RSU: r.rsuUnit, Machine: mach, OpCycles: cfg.Options.RSUOpCycles}
+		cfg.NewScheduler = func(sched.CoreInfo) sched.Scheduler { return sched.NewCritFirst() }
+	case CATARSUHA:
+		r.rsuUnit = rsu.New(eng, mach)
+		r.rsuUnit.Init(spec.FastCores)
+		rsu.NewHaltAware(r.rsuUnit, mach)
+		cfg.Reconfig = rts.RSUReconfig{RSU: r.rsuUnit, Machine: mach, OpCycles: cfg.Options.RSUOpCycles}
+		cfg.NewScheduler = func(sched.CoreInfo) sched.Scheduler { return sched.NewCritFirst() }
+	case CATA3L:
+		// Same power envelope as `FastCores` fast cores: fast costs 2
+		// units, so the pool is 2x the fast-core budget.
+		ml := rsu.NewMultiLevel(eng, mach, rsu.ThreeLevelUnitCosts())
+		ml.Init(2 * spec.FastCores)
+		r.mlUnit = ml
+		cfg.Reconfig = rts.RSUReconfig{RSU: ml, Machine: mach, OpCycles: cfg.Options.RSUOpCycles}
+		cfg.NewScheduler = func(sched.CoreInfo) sched.Scheduler { return sched.NewCritFirst() }
+	case TURBO:
+		r.turboC = turbo.New(eng, mach, spec.FastCores, xrand.New(spec.Seed).Stream("turbo"))
+		r.turboC.Start()
+		cfg.NewScheduler = func(info sched.CoreInfo) sched.Scheduler { return sched.NewFIFO(info) }
+	default:
+		return nil, fmt.Errorf("exp: unknown policy %v", spec.Policy)
+	}
+
+	r.runtime, err = rts.New(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}

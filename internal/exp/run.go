@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"cata/internal/energy"
+	"cata/internal/program"
+	"cata/internal/sched"
+	"cata/internal/sim"
+	"cata/internal/trace"
+	"cata/internal/workloads"
+)
+
+// RunSpec identifies one simulation: a workload under a policy with a
+// fast-core budget on a machine.
+type RunSpec struct {
+	// Workload is a benchmark name from internal/workloads. Ignored when
+	// Program is set.
+	Workload string
+	// Program, when non-nil, is run directly instead of a named workload
+	// (the public API's custom-workload path).
+	Program *program.Program
+	// Policy is the system configuration.
+	Policy Policy
+	// FastCores is the power budget: the number of statically fast cores
+	// (FIFO/CATS) or the maximum simultaneously accelerated cores
+	// (CATA/RSU/TurboMode). The paper sweeps 8, 16, 24 on 32 cores.
+	FastCores int
+	// Cores is the machine size (default 32).
+	Cores int
+	// Seed drives all workload randomness (default 42).
+	Seed uint64
+	// Scale in (0,1] shrinks workload task counts (default 1.0).
+	Scale float64
+	// MaxSimTime aborts runaway simulations (default 20 s simulated).
+	MaxSimTime sim.Time
+	// TransitionLatency overrides the DVFS transition latency (0 keeps
+	// the Table I 25 µs). Used by the latency-sensitivity ablation.
+	TransitionLatency sim.Time
+	// Trace, when non-nil, receives the run's task timeline as a Chrome
+	// trace JSON document.
+	Trace io.Writer
+	// Timeline, when non-nil, receives a per-core ASCII Gantt chart.
+	Timeline io.Writer
+}
+
+// withDefaults fills zero fields.
+func (s RunSpec) withDefaults() RunSpec {
+	if s.Cores == 0 {
+		s.Cores = 32
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.Scale == 0 {
+		s.Scale = 1.0
+	}
+	if s.MaxSimTime == 0 {
+		s.MaxSimTime = 20 * sim.Second
+	}
+	return s
+}
+
+func (s RunSpec) String() string {
+	return fmt.Sprintf("%s/%v/fast=%d", s.Workload, s.Policy, s.FastCores)
+}
+
+// Measurement is the harvested result of one run.
+type Measurement struct {
+	Spec     RunSpec
+	Makespan sim.Time
+	Joules   float64
+	EDP      float64 // joule-seconds
+	TasksRun int64
+
+	// Scheduling behavior.
+	CriticalTasks int64
+	Inversions    int64 // critical tasks dispatched to slow cores
+	Steals        int64 // slow-core HPRQ steals (CATS)
+	StaticBinding int64 // fast core idled while critical ran slow (§II-C)
+
+	// DVFS / reconfiguration behavior (§V-C).
+	Transitions         int64    // physical V/f transitions
+	ReconfigOps         int64    // RSM or RSU start/end operations
+	ReconfigLatencyAvg  sim.Time // software op latency (CATA only)
+	ReconfigLatencyMax  sim.Time
+	LockWaitMax         sim.Time // worst RSM-lock acquisition (CATA only)
+	DriverLockWaitMax   sim.Time // worst kernel cpufreq-lock wait
+	ReconfigOverheadPct float64  // reconfiguration core-time / total core-time
+	TurboReassigns      int64    // TurboMode halt-driven handoffs
+
+	// AvgUtilization is mean busy-time/makespan across cores in [0,1].
+	AvgUtilization float64
+}
+
+type programHolder struct{ prog *program.Program }
+
+// Run executes one simulation and harvests its measurement.
+func Run(spec RunSpec) (Measurement, error) {
+	spec = spec.withDefaults()
+	prog := spec.Program
+	if prog == nil {
+		w, err := workloads.ByName(spec.Workload)
+		if err != nil {
+			return Measurement{}, err
+		}
+		prog = w.Build(spec.Seed, spec.Scale)
+	}
+	rig, err := buildRig(spec, programHolder{prog})
+	if err != nil {
+		return Measurement{}, err
+	}
+	res, err := rig.runtime.Run()
+	if err != nil {
+		return Measurement{}, fmt.Errorf("%v: %w", spec, err)
+	}
+	joules := rig.mach.FinishEnergy()
+	if spec.Trace != nil {
+		if err := trace.Write(spec.Trace, rig.runtime.Tasks()); err != nil {
+			return Measurement{}, fmt.Errorf("%v: writing trace: %w", spec, err)
+		}
+	}
+	if spec.Timeline != nil {
+		if err := trace.RenderASCII(spec.Timeline, rig.runtime.Tasks(), 100); err != nil {
+			return Measurement{}, fmt.Errorf("%v: rendering timeline: %w", spec, err)
+		}
+	}
+
+	m := Measurement{
+		Spec:          spec,
+		Makespan:      res.Makespan,
+		Joules:        joules,
+		EDP:           energy.EDP(joules, res.Makespan),
+		TasksRun:      res.TasksRun,
+		CriticalTasks: res.CriticalTasks,
+		StaticBinding: res.StaticBindingEvents,
+		Transitions:   rig.mach.DVFS.Transitions(),
+	}
+	if st := schedStats(rig); st != nil {
+		m.Inversions = st.CriticalToSlow
+		m.Steals = st.Steals
+	}
+	if rig.rsmMod != nil {
+		accels, decels := rig.rsmMod.Reconfigs()
+		m.ReconfigOps = accels + decels
+		m.ReconfigLatencyAvg = rig.rsmMod.OpLatency().MeanTime()
+		m.ReconfigLatencyMax = rig.rsmMod.OpLatency().MaxTime()
+		m.LockWaitMax = rig.rsmMod.Lock().WaitTimes().MaxTime()
+		total := float64(res.Makespan) * float64(spec.Cores)
+		m.ReconfigOverheadPct = 100 * float64(rig.rsmMod.OpTimeTotal()) / total
+	}
+	if rig.fw != nil {
+		m.DriverLockWaitMax = rig.fw.DriverLock().WaitTimes().MaxTime()
+	}
+	if rig.rsuUnit != nil {
+		accels, decels := rig.rsuUnit.Reconfigs()
+		m.ReconfigOps = accels + decels
+	}
+	if rig.mlUnit != nil {
+		ups, downs := rig.mlUnit.Moves()
+		m.ReconfigOps = ups + downs
+	}
+	if rig.turboC != nil {
+		m.TurboReassigns = rig.turboC.Reassigns()
+	}
+	if res.Makespan > 0 {
+		var busy sim.Time
+		for i := 0; i < rig.mach.Cores(); i++ {
+			busy += rig.mach.Core(i).BusyTime()
+		}
+		m.AvgUtilization = float64(busy) / (float64(res.Makespan) * float64(rig.mach.Cores()))
+	}
+	return m, nil
+}
+
+// schedStats extracts dispatch statistics from whichever scheduler ran.
+func schedStats(r *rig) *sched.Stats {
+	if s, ok := r.runtime.Scheduler().(interface{ Stats() *sched.Stats }); ok {
+		return s.Stats()
+	}
+	return nil
+}
+
+// RunAll executes specs in parallel (bounded by GOMAXPROCS) and returns
+// measurements in spec order. The first error aborts the batch.
+func RunAll(specs []RunSpec) ([]Measurement, error) {
+	ms := make([]Measurement, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		i, spec := i, spec
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ms[i], errs[i] = Run(spec)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ms, nil
+}

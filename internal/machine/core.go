@@ -1,0 +1,312 @@
+package machine
+
+import (
+	"fmt"
+
+	"cata/internal/energy"
+	"cata/internal/sim"
+)
+
+// CoreState is the coarse execution state of a core, as seen by the
+// runtime system.
+type CoreState int
+
+const (
+	// Busy: executing a compute/wait segment (C0 active).
+	Busy CoreState = iota
+	// IdleSpin: in the runtime idle loop polling for work (C0 idle).
+	IdleSpin
+	// Halted: executed `halt`, waiting for a wake (C1).
+	Halted
+	// Sleeping: demoted to deep sleep after a long halt (C3).
+	Sleeping
+	// Waking: wake latency in progress.
+	Waking
+)
+
+func (s CoreState) String() string {
+	switch s {
+	case Busy:
+		return "busy"
+	case IdleSpin:
+		return "idle"
+	case Halted:
+		return "halted"
+	case Sleeping:
+		return "sleeping"
+	case Waking:
+		return "waking"
+	default:
+		return fmt.Sprintf("CoreState(%d)", int(s))
+	}
+}
+
+// Core models one processor core. The runtime drives it through Exec
+// (frequency-scaled work plus frequency-invariant time), Idle (enter the
+// idle loop), Wake, and HaltFor (blocking kernel services / IO). The core
+// reports every power-relevant change to the energy meter and transparently
+// rescales in-flight work when the DVFS controller changes its frequency.
+type Core struct {
+	id    int
+	eng   *sim.Engine
+	cfg   *Config
+	dvfs  *DVFSController
+	meter *energy.Meter
+
+	state CoreState
+	seg   *segment
+
+	idleTimer sim.Handle // pending spin→halt or halt→sleep demotion
+	wakeCb    func()
+
+	onHalt func(core int) // machine-level listeners (TurboMode)
+	onWake func(core int)
+
+	// Statistics.
+	haltCount    int64
+	execSegments int64
+	busyTime     sim.Time
+	lastBusyIn   sim.Time
+}
+
+type segment struct {
+	cycles   int64    // remaining frequency-scaled cycles
+	fixed    sim.Time // remaining frequency-invariant time
+	started  sim.Time
+	duration sim.Time // duration of the remaining work at segment start freq
+	end      sim.Handle
+	done     func()
+}
+
+func newCore(id int, eng *sim.Engine, cfg *Config, dvfs *DVFSController, meter *energy.Meter) *Core {
+	c := &Core{id: id, eng: eng, cfg: cfg, dvfs: dvfs, meter: meter, state: IdleSpin}
+	c.armIdleDemotion()
+	return c
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// State returns the coarse execution state.
+func (c *Core) State() CoreState { return c.state }
+
+// Freq returns the core's current physical frequency.
+func (c *Core) Freq() sim.Hertz { return c.dvfs.Freq(c.id) }
+
+// Active reports whether the core is in an ACPI C0 state (the definition
+// TurboMode uses for acceleration victims, §III-B.5).
+func (c *Core) Active() bool { return c.state == Busy || c.state == IdleSpin }
+
+// BusyTime returns the cumulative time spent in Busy.
+func (c *Core) BusyTime() sim.Time {
+	t := c.busyTime
+	if c.state == Busy {
+		t += c.eng.Now() - c.lastBusyIn
+	}
+	return t
+}
+
+// HaltCount returns how many times the core entered C1.
+func (c *Core) HaltCount() int64 { return c.haltCount }
+
+// ExecSegments returns how many Exec segments the core completed or started.
+func (c *Core) ExecSegments() int64 { return c.execSegments }
+
+func (c *Core) setState(s CoreState) {
+	if c.state == Busy && s != Busy {
+		c.busyTime += c.eng.Now() - c.lastBusyIn
+	}
+	if c.state != Busy && s == Busy {
+		c.lastBusyIn = c.eng.Now()
+	}
+	c.state = s
+	c.meter.SetState(c.id, c.dvfs.Actual(c.id), c.cstate())
+}
+
+func (c *Core) cstate() energy.CState {
+	switch c.state {
+	case Busy:
+		return energy.C0Active
+	case IdleSpin:
+		return energy.C0Idle
+	case Halted:
+		return energy.C1Halt
+	case Sleeping:
+		return energy.C3Sleep
+	case Waking:
+		return energy.C1Halt // charging wake latency as C1 is close enough
+	default:
+		panic("machine: bad core state")
+	}
+}
+
+// Exec runs `cycles` of frequency-scaled work plus `fixed` of
+// frequency-invariant time (memory stalls, spin waits), then calls done.
+// The core must not be Busy, Halted, Sleeping or Waking; the runtime wakes
+// a core before dispatching to it.
+func (c *Core) Exec(cycles int64, fixed sim.Time, done func()) {
+	if c.state == Halted || c.state == Sleeping || c.state == Waking {
+		panic(fmt.Sprintf("machine: Exec on core %d in state %v", c.id, c.state))
+	}
+	if c.seg != nil {
+		panic(fmt.Sprintf("machine: Exec on core %d with segment in flight", c.id))
+	}
+	if cycles < 0 || fixed < 0 {
+		panic("machine: negative work")
+	}
+	c.cancelIdleTimer()
+	c.execSegments++
+	seg := &segment{cycles: cycles, fixed: fixed, done: done}
+	c.seg = seg
+	c.setState(Busy)
+	c.startSegment(seg)
+}
+
+// BusyWait runs a purely frequency-invariant active wait (e.g. blocking on
+// a contended kernel lock): the core burns C0-active power for d, then
+// calls done.
+func (c *Core) BusyWait(d sim.Time, done func()) { c.Exec(0, d, done) }
+
+func (c *Core) startSegment(seg *segment) {
+	seg.started = c.eng.Now()
+	seg.duration = sim.Cycles(seg.cycles, c.Freq()) + seg.fixed
+	seg.end = c.eng.After(seg.duration, func() { c.finishSegment(seg) })
+}
+
+func (c *Core) finishSegment(seg *segment) {
+	if c.seg != seg {
+		panic("machine: stale segment completion")
+	}
+	c.seg = nil
+	// done() runs at the completion timestamp; the runtime immediately
+	// either Execs again, Idles, or HaltsFor. The core stays Busy across
+	// the (zero-duration) callback.
+	seg.done()
+}
+
+// onFreqChange rescales the in-flight segment onto the new frequency.
+// Completed fractions of the cycle and fixed components drain
+// proportionally: duration(f) = cycles·period(f) + fixed, and at fraction
+// p of that duration, p of each component is consumed.
+func (c *Core) onFreqChange() {
+	c.meter.SetState(c.id, c.dvfs.Actual(c.id), c.cstate())
+	seg := c.seg
+	if seg == nil || seg.duration == 0 {
+		return
+	}
+	elapsed := c.eng.Now() - seg.started
+	if elapsed >= seg.duration {
+		return // completion fires at this timestamp; let it
+	}
+	frac := float64(elapsed) / float64(seg.duration)
+	seg.cycles -= int64(frac * float64(seg.cycles))
+	seg.fixed -= sim.Time(frac * float64(seg.fixed))
+	seg.end.Cancel()
+	c.startSegment(seg)
+}
+
+// Idle puts the core into the runtime idle loop. After Config.IdleSpin it
+// halts (C1, notifying the halt listener), and after Config.SleepAfter in
+// C1 it is demoted to C3.
+func (c *Core) Idle() {
+	if c.seg != nil {
+		panic(fmt.Sprintf("machine: Idle on busy core %d", c.id))
+	}
+	c.setState(IdleSpin)
+	c.armIdleDemotion()
+}
+
+func (c *Core) armIdleDemotion() {
+	c.cancelIdleTimer()
+	c.idleTimer = c.eng.After(c.cfg.IdleSpin, c.demoteToHalt)
+}
+
+func (c *Core) demoteToHalt() {
+	if c.state != IdleSpin {
+		return
+	}
+	c.setState(Halted)
+	c.haltCount++
+	c.idleTimer = c.eng.After(c.cfg.SleepAfter, c.demoteToSleep)
+	if c.onHalt != nil {
+		c.onHalt(c.id)
+	}
+}
+
+func (c *Core) demoteToSleep() {
+	if c.state != Halted {
+		return
+	}
+	c.setState(Sleeping)
+}
+
+func (c *Core) cancelIdleTimer() {
+	if c.idleTimer.Pending() {
+		c.idleTimer.Cancel()
+	}
+}
+
+// Wake brings an idle, halted or sleeping core back to the runtime, then
+// calls ready. From IdleSpin the core picks work up immediately (same
+// timestamp); from C1/C3 the configured wake latency applies and the wake
+// listener fires. Waking a core that is already waking or busy panics —
+// the runtime tracks core ownership and must not double-dispatch.
+func (c *Core) Wake(ready func()) {
+	switch c.state {
+	case IdleSpin:
+		c.cancelIdleTimer()
+		ready()
+	case Halted, Sleeping:
+		lat := c.cfg.WakeLatencyC1
+		if c.state == Sleeping {
+			lat = c.cfg.WakeLatencyC3
+		}
+		c.cancelIdleTimer()
+		c.setState(Waking)
+		c.wakeCb = ready
+		c.eng.After(lat, func() {
+			c.setState(IdleSpin)
+			c.armIdleDemotion()
+			cb := c.wakeCb
+			c.wakeCb = nil
+			if c.onWake != nil {
+				c.onWake(c.id)
+			}
+			cb()
+		})
+	default:
+		panic(fmt.Sprintf("machine: Wake on core %d in state %v", c.id, c.state))
+	}
+}
+
+// HaltFor models a blocking kernel service inside a task (IO, page-fault
+// contention): the core drops to C1 for d (notifying the halt listener —
+// this is the situation where TurboMode reclaims budget, §V-D), then wakes
+// and calls done after the wake latency.
+func (c *Core) HaltFor(d sim.Time, done func()) {
+	if c.seg != nil {
+		panic(fmt.Sprintf("machine: HaltFor on core %d with segment in flight", c.id))
+	}
+	if d < 0 {
+		panic("machine: negative halt duration")
+	}
+	c.cancelIdleTimer()
+	c.setState(Halted)
+	c.haltCount++
+	if c.onHalt != nil {
+		c.onHalt(c.id)
+	}
+	c.eng.After(d, func() {
+		if c.state != Halted {
+			panic(fmt.Sprintf("machine: core %d left Halted during HaltFor", c.id))
+		}
+		c.setState(Waking)
+		c.eng.After(c.cfg.WakeLatencyC1, func() {
+			c.setState(Busy)
+			if c.onWake != nil {
+				c.onWake(c.id)
+			}
+			done()
+		})
+	})
+}

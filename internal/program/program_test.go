@@ -1,0 +1,86 @@
+package program
+
+import (
+	"testing"
+
+	"cata/internal/sim"
+	"cata/internal/tdg"
+)
+
+var tt = &tdg.TaskType{Name: "t"}
+
+func TestAddAndCount(t *testing.T) {
+	var p Program
+	p.Name = "x"
+	p.AddTask(TaskSpec{Type: tt, CPUCycles: 1000})
+	p.AddBarrier()
+	p.AddTask(TaskSpec{Type: tt, CPUCycles: 2000, MemTime: sim.Microsecond})
+	if p.Tasks() != 2 || p.Barriers() != 1 || len(p.Items) != 3 {
+		t.Fatalf("counts: %d tasks %d barriers %d items", p.Tasks(), p.Barriers(), len(p.Items))
+	}
+}
+
+func TestAddTaskCopiesSpec(t *testing.T) {
+	var p Program
+	spec := TaskSpec{Type: tt, CPUCycles: 1000}
+	p.AddTask(spec)
+	spec.CPUCycles = 9999
+	if p.Items[0].Task.CPUCycles != 1000 {
+		t.Fatal("AddTask aliased the caller's spec")
+	}
+}
+
+func TestTotalWork(t *testing.T) {
+	var p Program
+	p.AddTask(TaskSpec{Type: tt, CPUCycles: 1000, MemTime: 500 * sim.Nanosecond})
+	p.AddTask(TaskSpec{Type: tt, CPUCycles: 2000})
+	// At 1 GHz: 1µs + 0.5µs + 2µs = 3.5µs.
+	if w := p.TotalWork(sim.Gigahertz); w != 3500*sim.Nanosecond {
+		t.Fatalf("TotalWork = %v", w)
+	}
+	// At 2 GHz the cycle part halves: 0.5 + 0.5 + 1 = 2µs.
+	if w := p.TotalWork(2 * sim.Gigahertz); w != 2*sim.Microsecond {
+		t.Fatalf("TotalWork@2GHz = %v", w)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Program{Name: "ok"}
+	good.AddTask(TaskSpec{Type: tt, CPUCycles: 10})
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]*Program{
+		"unnamed": func() *Program {
+			p := &Program{}
+			p.AddTask(TaskSpec{Type: tt, CPUCycles: 1})
+			return p
+		}(),
+		"empty": {Name: "e"},
+		"typeless": func() *Program {
+			p := &Program{Name: "t"}
+			p.AddTask(TaskSpec{CPUCycles: 1})
+			return p
+		}(),
+		"negative": func() *Program {
+			p := &Program{Name: "n"}
+			p.AddTask(TaskSpec{Type: tt, CPUCycles: -1})
+			return p
+		}(),
+		"zero-work": func() *Program {
+			p := &Program{Name: "z"}
+			p.AddTask(TaskSpec{Type: tt})
+			return p
+		}(),
+		"malformed-item": {Name: "m", Items: []Item{{}}},
+		"task-and-barrier": {Name: "tb", Items: []Item{
+			{Task: &TaskSpec{Type: tt, CPUCycles: 1}, Barrier: true},
+		}},
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s validated", name)
+		}
+	}
+}

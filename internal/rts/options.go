@@ -1,0 +1,67 @@
+// Package rts implements the task-based runtime system (the Nanos++ role
+// in the paper's stack, §IV): per-core workers, the master thread creating
+// tasks from a Program, dependence management through the TDG, criticality
+// estimation, scheduling, and — for CATA configurations — driving DVFS
+// reconfiguration through the RSM (software) or the RSU (hardware).
+package rts
+
+import (
+	"fmt"
+
+	"cata/internal/sim"
+)
+
+// Options holds the runtime's software-cost calibration and policy knobs.
+// Cycle costs scale with the executing core's frequency.
+type Options struct {
+	// CreateCycles is the master thread's cost to create and submit one
+	// task (allocation, dependence registration).
+	CreateCycles int64
+	// DispatchCycles is the per-dequeue scheduler cost on the worker.
+	DispatchCycles int64
+	// CompleteCycles is the per-completion bookkeeping cost (releasing
+	// dependents, freeing metadata).
+	CompleteCycles int64
+	// RSUOpCycles is the cost of one rsu_start_task/rsu_end_task
+	// instruction (§III-B: "the RSU is only accessed twice per executed
+	// task").
+	RSUOpCycles int64
+	// ThrottleWindow bounds in-flight (created, not finished) tasks; the
+	// master stalls above it, as Nanos++'s throttling policy does. Zero
+	// means unlimited.
+	ThrottleWindow int
+	// ClassAwareWake makes the runtime wake idle fast cores for critical
+	// tasks and idle slow cores for non-critical ones (the CATS dispatch
+	// discipline on a statically heterogeneous machine). When false, the
+	// lowest-indexed idle core is woken.
+	ClassAwareWake bool
+	// MaxSimTime aborts runs exceeding this much simulated time (guard
+	// against pathological configurations). Zero means no limit.
+	MaxSimTime sim.Time
+	// RetainTasks keeps every executed task reachable so callers can
+	// export timelines (Runtime.Tasks); off by default to keep memory
+	// proportional to live tasks only.
+	RetainTasks bool
+}
+
+// DefaultOptions returns the calibration used by the experiments: runtime
+// path lengths of a few thousand cycles, matching measured Nanos++ costs
+// of a few microseconds per task management operation.
+func DefaultOptions() Options {
+	return Options{
+		CreateCycles:   3000,
+		DispatchCycles: 1500,
+		CompleteCycles: 1200,
+		RSUOpCycles:    4,
+		ThrottleWindow: 512,
+	}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.CreateCycles < 0 || o.DispatchCycles < 0 || o.CompleteCycles < 0 ||
+		o.RSUOpCycles < 0 || o.ThrottleWindow < 0 || o.MaxSimTime < 0 {
+		return fmt.Errorf("rts: negative option value: %+v", o)
+	}
+	return nil
+}

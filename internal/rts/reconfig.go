@@ -1,0 +1,85 @@
+package rts
+
+import (
+	"cata/internal/machine"
+	"cata/internal/rsm"
+	"cata/internal/tdg"
+)
+
+// Reconfigurer is the runtime's hook into a hardware-reconfiguration
+// mechanism. TaskStart is invoked after a task is dispatched to a core and
+// before its body executes; TaskEnd after the body finishes. done must be
+// called exactly once when the runtime may proceed; any time consumed in
+// between is reconfiguration overhead on the task's critical path (§V-C).
+type Reconfigurer interface {
+	Name() string
+	TaskStart(core int, t *tdg.Task, done func())
+	TaskEnd(core int, t *tdg.Task, done func())
+}
+
+// NoReconfig is the null mechanism used by FIFO, CATS and TurboMode
+// configurations (TurboMode reacts to C-state edges, not task events).
+type NoReconfig struct{}
+
+// Name implements Reconfigurer.
+func (NoReconfig) Name() string { return "none" }
+
+// TaskStart implements Reconfigurer.
+func (NoReconfig) TaskStart(_ int, _ *tdg.Task, done func()) { done() }
+
+// TaskEnd implements Reconfigurer.
+func (NoReconfig) TaskEnd(_ int, _ *tdg.Task, done func()) { done() }
+
+// RSMReconfig drives CATA's software reconfiguration module: every task
+// start/end runs the §III-A algorithm under the runtime lock, paying the
+// cpufreq software path on the calling core.
+type RSMReconfig struct{ RSM *rsm.RSM }
+
+// Name implements Reconfigurer.
+func (r RSMReconfig) Name() string { return "rsm" }
+
+// TaskStart implements Reconfigurer.
+func (r RSMReconfig) TaskStart(core int, t *tdg.Task, done func()) {
+	r.RSM.TaskStart(core, t.Critical, done)
+}
+
+// TaskEnd implements Reconfigurer.
+func (r RSMReconfig) TaskEnd(core int, _ *tdg.Task, done func()) {
+	r.RSM.TaskEnd(core, done)
+}
+
+// TaskUnit is the hardware-side contract of an RSU-like unit: task
+// start/end notifications that reconfigure DVFS in hardware. Both the
+// paper's two-level RSU and the multi-level extension satisfy it.
+type TaskUnit interface {
+	StartTask(core int, critical bool)
+	EndTask(core int)
+}
+
+// RSUReconfig drives a hardware task unit: the runtime executes one
+// rsu_start_task/rsu_end_task instruction (a few cycles on the calling
+// core); decision and DVFS programming happen in hardware.
+type RSUReconfig struct {
+	RSU      TaskUnit
+	Machine  *machine.Machine
+	OpCycles int64
+}
+
+// Name implements Reconfigurer.
+func (r RSUReconfig) Name() string { return "rsu" }
+
+// TaskStart implements Reconfigurer.
+func (r RSUReconfig) TaskStart(core int, t *tdg.Task, done func()) {
+	r.Machine.Core(core).Exec(r.OpCycles, 0, func() {
+		r.RSU.StartTask(core, t.Critical)
+		done()
+	})
+}
+
+// TaskEnd implements Reconfigurer.
+func (r RSUReconfig) TaskEnd(core int, _ *tdg.Task, done func()) {
+	r.Machine.Core(core).Exec(r.OpCycles, 0, func() {
+		r.RSU.EndTask(core)
+		done()
+	})
+}

@@ -1,0 +1,373 @@
+package rts
+
+import (
+	"fmt"
+
+	"cata/internal/machine"
+	"cata/internal/program"
+	"cata/internal/sched"
+	"cata/internal/sim"
+	"cata/internal/stats"
+	"cata/internal/tdg"
+)
+
+// Config assembles a runtime. NewScheduler receives the runtime itself as
+// sched.CoreInfo (core classes and idle information), breaking the
+// construction cycle between scheduler and runtime.
+type Config struct {
+	Machine      *machine.Machine
+	Program      *program.Program
+	NewScheduler func(info sched.CoreInfo) sched.Scheduler
+	Estimator    sched.Estimator
+	Reconfig     Reconfigurer
+	Options      Options
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Makespan is the simulated time at which the last task completed
+	// (the paper's execution time of the parallel section).
+	Makespan sim.Time
+	// TasksRun is the number of executed tasks.
+	TasksRun int64
+	// CriticalTasks is the number of tasks estimated critical at
+	// dispatch time.
+	CriticalTasks int64
+	// SubmitVisited is the total number of TDG nodes visited during
+	// submissions (the bottom-level estimator's exploration volume).
+	SubmitVisited int64
+	// StaticBindingEvents counts times a fast core went idle while a
+	// critical task ran on a slow core (§II-C's static binding problem).
+	StaticBindingEvents int64
+	// ReadyWait summarizes ready-to-start latency per task.
+	ReadyWait stats.DurationSummary
+}
+
+// Runtime executes a Program on a Machine under a scheduling policy and an
+// optional reconfiguration mechanism. One Runtime runs one Program once.
+type Runtime struct {
+	eng      *sim.Engine
+	mach     *machine.Machine
+	prog     *program.Program
+	schedq   sched.Scheduler
+	est      sched.Estimator
+	reconfig Reconfigurer
+	opts     Options
+
+	graph      *tdg.Graph
+	idle       []bool
+	running    []*tdg.Task
+	wakeCursor int
+
+	creatorNext int
+	creatorDone bool
+	nextTaskID  int
+
+	finished bool
+	timedOut bool
+	makespan sim.Time
+
+	tasksRun      int64
+	critTasks     int64
+	staticBinding int64
+	readyWait     stats.DurationSummary
+	submitVisited int64
+	retained      []*tdg.Task
+}
+
+// New builds a runtime from the configuration.
+func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
+	if cfg.Machine == nil || cfg.Program == nil || cfg.NewScheduler == nil || cfg.Estimator == nil {
+		return nil, fmt.Errorf("rts: incomplete config (machine/program/scheduler/estimator required)")
+	}
+	if err := cfg.Program.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Options.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Reconfig == nil {
+		cfg.Reconfig = NoReconfig{}
+	}
+	r := &Runtime{
+		eng:      eng,
+		mach:     cfg.Machine,
+		prog:     cfg.Program,
+		est:      cfg.Estimator,
+		reconfig: cfg.Reconfig,
+		opts:     cfg.Options,
+		idle:     make([]bool, cfg.Machine.Cores()),
+		running:  make([]*tdg.Task, cfg.Machine.Cores()),
+	}
+	r.graph = tdg.New(r.onTaskReady)
+	r.schedq = cfg.NewScheduler(r)
+	if r.schedq == nil {
+		return nil, fmt.Errorf("rts: NewScheduler returned nil")
+	}
+	return r, nil
+}
+
+// Graph exposes the task dependence graph (read-only use).
+func (r *Runtime) Graph() *tdg.Graph { return r.graph }
+
+// Scheduler exposes the scheduling policy for statistics harvesting.
+func (r *Runtime) Scheduler() sched.Scheduler { return r.schedq }
+
+// Tasks returns every submitted task in submission order. Empty unless
+// Options.RetainTasks was set.
+func (r *Runtime) Tasks() []*tdg.Task { return r.retained }
+
+// IsFast implements sched.CoreInfo against the machine's committed core
+// classes (static in the FIFO/CATS experiments).
+func (r *Runtime) IsFast(core int) bool { return r.mach.IsFastCore(core) }
+
+// AnyFastIdle implements sched.CoreInfo: whether any fast core is in the
+// runtime's idle set (CATS's stealing guard, §II-C).
+func (r *Runtime) AnyFastIdle() bool {
+	for i, idle := range r.idle {
+		if idle && r.mach.IsFastCore(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the program to completion and returns the result. It
+// drives the engine; the caller finalizes energy via the machine's meter
+// afterwards (the clock stops at the makespan).
+func (r *Runtime) Run() (Result, error) {
+	for i := 0; i < r.mach.Cores(); i++ {
+		i := i
+		r.eng.At(0, func() { r.workerLoop(i) })
+	}
+	if r.opts.MaxSimTime > 0 {
+		r.eng.At(r.opts.MaxSimTime, func() {
+			if !r.finished {
+				r.timedOut = true
+				r.eng.Stop()
+			}
+		})
+	}
+	r.eng.Run()
+
+	switch {
+	case r.timedOut:
+		return Result{}, fmt.Errorf("rts: %s exceeded MaxSimTime %v (live=%d ready=%d)",
+			r.prog.Name, r.opts.MaxSimTime, r.graph.Live(), r.schedq.Len())
+	case !r.finished:
+		return Result{}, fmt.Errorf("rts: %s deadlocked: creator at %d/%d, %d live, %d ready",
+			r.prog.Name, r.creatorNext, len(r.prog.Items), r.graph.Live(), r.schedq.Len())
+	}
+	return Result{
+		Makespan:            r.makespan,
+		TasksRun:            r.tasksRun,
+		CriticalTasks:       r.critTasks,
+		SubmitVisited:       r.submitVisited,
+		StaticBindingEvents: r.staticBinding,
+		ReadyWait:           r.readyWait,
+	}, nil
+}
+
+// workerLoop is each core's scheduling loop entry: run the master thread
+// (core 0, when runnable), else dequeue and dispatch a task, else idle.
+func (r *Runtime) workerLoop(core int) {
+	if r.finished {
+		return
+	}
+	if core == 0 && r.creatorRunnable() {
+		r.creatorStep()
+		return
+	}
+	t := r.schedq.Dequeue(core)
+	if t == nil {
+		r.goIdle(core)
+		return
+	}
+	r.dispatch(core, t)
+}
+
+// creatorRunnable reports whether the master thread can make progress:
+// not finished, not blocked on a barrier, not throttled.
+func (r *Runtime) creatorRunnable() bool {
+	if r.creatorDone {
+		return false
+	}
+	it := r.prog.Items[r.creatorNext]
+	if it.Barrier {
+		return r.graph.AllDone()
+	}
+	if r.opts.ThrottleWindow > 0 && r.graph.Live() >= r.opts.ThrottleWindow {
+		return false
+	}
+	return true
+}
+
+// creatorStep executes one master-thread item on core 0.
+func (r *Runtime) creatorStep() {
+	it := r.prog.Items[r.creatorNext]
+	r.creatorNext++
+	if r.creatorNext == len(r.prog.Items) {
+		r.creatorDone = true
+	}
+	if it.Barrier {
+		// Barriers are only stepped over once satisfied; popping is free.
+		if r.creatorDone && r.graph.AllDone() {
+			r.finish()
+			return
+		}
+		r.workerLoop(0)
+		return
+	}
+	spec := it.Task
+	t := &tdg.Task{
+		ID:          r.nextTaskID,
+		Type:        spec.Type,
+		CPUCycles:   spec.CPUCycles,
+		MemTime:     spec.MemTime,
+		IOTime:      spec.IOTime,
+		Ins:         spec.Ins,
+		Outs:        spec.Outs,
+		SubmittedAt: r.eng.Now(),
+		Core:        -1,
+	}
+	r.nextTaskID++
+	if r.opts.RetainTasks {
+		r.retained = append(r.retained, t)
+	}
+	visited := r.graph.Submit(t) // may fire onTaskReady synchronously
+	r.submitVisited += int64(visited)
+	cost := r.opts.CreateCycles + r.est.SubmitCostCycles(visited)
+	r.mach.Core(0).Exec(cost, 0, func() { r.workerLoop(0) })
+}
+
+// onTaskReady is the graph callback: estimate criticality, enqueue, and
+// wake an idle core if one should pick the task up.
+func (r *Runtime) onTaskReady(t *tdg.Task) {
+	t.ReadyAt = r.eng.Now()
+	r.est.Estimate(t, r.graph)
+	r.schedq.Enqueue(t)
+	r.wakeForTask(t)
+}
+
+// wakeForTask wakes at most one idle core for a newly ready task.
+func (r *Runtime) wakeForTask(t *tdg.Task) {
+	core := r.pickIdleCore(t)
+	if core < 0 {
+		return
+	}
+	r.wakeWorker(core)
+}
+
+func (r *Runtime) wakeWorker(core int) {
+	r.idle[core] = false
+	r.mach.Core(core).Wake(func() { r.workerLoop(core) })
+}
+
+// pickIdleCore selects which idle core to wake. With ClassAwareWake
+// (statically heterogeneous CATS machines) critical tasks prefer idle
+// fast cores, falling back to any idle core; non-critical tasks take the
+// next idle core round-robin — CATS lets fast cores pull from the LPRQ
+// when the HPRQ is empty (§II-C), so holding non-critical work for slow
+// cores would only add latency.
+//
+// The round-robin cursor matters for fidelity: always waking the lowest
+// idle index would systematically favor low-numbered (fast) cores and
+// make the criticality-blind baselines accidentally criticality-aware.
+// Real runtimes wake whichever worker parked first; rotation is the
+// neutral stand-in.
+func (r *Runtime) pickIdleCore(t *tdg.Task) int {
+	n := len(r.idle)
+	if r.opts.ClassAwareWake && t.Critical {
+		for off := 0; off < n; off++ {
+			i := (r.wakeCursor + off) % n
+			if r.idle[i] && r.mach.IsFastCore(i) {
+				r.wakeCursor = i + 1
+				return i
+			}
+		}
+	}
+	for off := 0; off < n; off++ {
+		i := (r.wakeCursor + off) % n
+		if r.idle[i] {
+			r.wakeCursor = i + 1
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *Runtime) goIdle(core int) {
+	r.idle[core] = true
+	// §II-C "static binding": a fast core going idle while a critical
+	// task is stuck on a slow core is exactly the situation a static
+	// heterogeneous machine cannot fix and CATA's reconfiguration can.
+	if r.mach.IsFastCore(core) {
+		for c, t := range r.running {
+			if t != nil && t.Critical && !r.mach.IsFastCore(c) {
+				r.staticBinding++
+				break
+			}
+		}
+	}
+	r.mach.Core(core).Idle()
+}
+
+// dispatch runs one task on a core: scheduler cost, reconfiguration
+// (TaskStart), body, optional IO halt, reconfiguration (TaskEnd),
+// completion bookkeeping, then loop.
+func (r *Runtime) dispatch(core int, t *tdg.Task) {
+	c := r.mach.Core(core)
+	c.Exec(r.opts.DispatchCycles, 0, func() {
+		r.reconfig.TaskStart(core, t, func() {
+			r.graph.Start(t)
+			t.StartedAt = r.eng.Now()
+			t.Core = core
+			r.running[core] = t
+			r.readyWait.ObserveTime(t.StartedAt - t.ReadyAt)
+			if t.Critical {
+				r.critTasks++
+			}
+			c.Exec(t.CPUCycles, t.MemTime, func() {
+				if t.IOTime > 0 {
+					c.HaltFor(t.IOTime, func() { r.completeTask(core, t) })
+				} else {
+					r.completeTask(core, t)
+				}
+			})
+		})
+	})
+}
+
+func (r *Runtime) completeTask(core int, t *tdg.Task) {
+	t.EndedAt = r.eng.Now()
+	r.running[core] = nil
+	r.reconfig.TaskEnd(core, t, func() {
+		r.mach.Core(core).Exec(r.opts.CompleteCycles, 0, func() {
+			r.graph.Complete(t) // releases successors; onTaskReady fires
+			r.tasksRun++
+			r.maybeWakeCreator()
+			if r.creatorDone && r.graph.AllDone() {
+				r.finish()
+				return
+			}
+			r.workerLoop(core)
+		})
+	})
+}
+
+// maybeWakeCreator wakes core 0 when the master thread was blocked
+// (barrier or throttle) and can now make progress.
+func (r *Runtime) maybeWakeCreator() {
+	if !r.creatorDone && r.creatorRunnable() && r.idle[0] {
+		r.wakeWorker(0)
+	}
+}
+
+func (r *Runtime) finish() {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	r.makespan = r.eng.Now()
+	r.eng.Stop()
+}

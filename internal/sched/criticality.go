@@ -1,0 +1,89 @@
+// Package sched implements the scheduling layer of the runtime system:
+// ready queues, the two criticality estimators of §II-B (static
+// annotations and dynamic bottom-level), and the scheduling policies of
+// the paper — baseline FIFO (§II-C), CATS with its HPRQ/LPRQ split and
+// stealing rules [24], and the criticality-first policy CATA runs on a
+// dynamically reconfigured homogeneous machine (§III-A).
+package sched
+
+import "cata/internal/tdg"
+
+// Estimator decides whether a task is critical. Estimate is called by the
+// runtime when the task becomes ready, immediately before it is enqueued.
+type Estimator interface {
+	Name() string
+	// Estimate sets t.Critical.
+	Estimate(t *tdg.Task, g *tdg.Graph)
+	// SubmitCostCycles returns the CPU cycles the estimator costs the
+	// creating thread for one task submission that visited the given
+	// number of TDG nodes (§II-B: bottom-level "can become costly,
+	// specially in dense TDGs with short tasks"; annotations are free).
+	SubmitCostCycles(visited int) int64
+}
+
+// StaticAnnotations implements the paper's `criticality(c)` clause: a task
+// is critical iff its type's annotated criticality level is positive. The
+// estimator has no runtime cost (§V-A: "does not suffer the overhead of
+// exploring the TDG").
+type StaticAnnotations struct{}
+
+// Name implements Estimator.
+func (StaticAnnotations) Name() string { return "SA" }
+
+// Estimate implements Estimator.
+func (StaticAnnotations) Estimate(t *tdg.Task, _ *tdg.Graph) {
+	t.Critical = t.Type != nil && t.Type.Criticality > 0
+}
+
+// SubmitCostCycles implements Estimator: annotations are free.
+func (StaticAnnotations) SubmitCostCycles(int) int64 { return 0 }
+
+// BottomLevel implements the dynamic estimator of [24]: a task is critical
+// iff its bottom level is within Theta of the longest dependency path in
+// the live TDG (Theta = 1 means "only tasks whose bottom level equals the
+// maximum"; as predecessors complete, the descendants along the longest
+// path inherit the maximum and become critical in turn, matching Figure 1).
+type BottomLevel struct {
+	// Theta in (0, 1] is the fraction of the maximum live bottom level at
+	// or above which a task counts as critical. Default 1.0.
+	Theta float64
+	// CostPerNodeCycles is the creator-side cost of each TDG node visited
+	// while updating bottom levels on submission. Default 800 cycles:
+	// locked pointer chasing through runtime metadata shared with 32
+	// workers costs the better part of a microsecond per node, which is
+	// what makes the estimator expensive on dense TDGs (§II-B, §V-A).
+	CostPerNodeCycles int64
+}
+
+// NewBottomLevel returns a BottomLevel estimator with default parameters.
+func NewBottomLevel() *BottomLevel {
+	return &BottomLevel{Theta: 1.0, CostPerNodeCycles: 800}
+}
+
+// Name implements Estimator.
+func (b *BottomLevel) Name() string { return "BL" }
+
+// Estimate implements Estimator.
+func (b *BottomLevel) Estimate(t *tdg.Task, g *tdg.Graph) {
+	max := g.MaxLiveBL()
+	if max <= 0 {
+		// Flat TDG: no path information, nothing stands out (§V-A:
+		// fork-join tasks have "very similar criticality levels").
+		t.Critical = false
+		return
+	}
+	theta := b.Theta
+	if theta <= 0 || theta > 1 {
+		theta = 1
+	}
+	t.Critical = float64(t.BottomLevel) >= theta*float64(max)
+}
+
+// SubmitCostCycles implements Estimator.
+func (b *BottomLevel) SubmitCostCycles(visited int) int64 {
+	c := b.CostPerNodeCycles
+	if c == 0 {
+		c = 120
+	}
+	return int64(visited) * c
+}

@@ -1,0 +1,44 @@
+package sched
+
+import "cata/internal/tdg"
+
+// Queue is a FIFO ready queue of tasks, the building block of every
+// scheduler here. It is a slice-backed deque; the simulator is
+// single-threaded so no locking is needed (the *cost* of the real
+// runtime's locking is modeled separately in internal/cpufreq and
+// internal/rsm where the paper locates it).
+type Queue struct {
+	items []*tdg.Task
+	head  int
+}
+
+// Push appends a task.
+func (q *Queue) Push(t *tdg.Task) { q.items = append(q.items, t) }
+
+// Pop removes and returns the oldest task, or nil if empty.
+func (q *Queue) Pop() *tdg.Task {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	t := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	// Compact occasionally so memory does not grow with total tasks.
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return t
+}
+
+// Peek returns the oldest task without removing it, or nil.
+func (q *Queue) Peek() *tdg.Task {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	return q.items[q.head]
+}
+
+// Len returns the number of queued tasks.
+func (q *Queue) Len() int { return len(q.items) - q.head }

@@ -1,0 +1,202 @@
+package sched
+
+import "cata/internal/tdg"
+
+// Scheduler assigns ready tasks to requesting cores. Implementations are
+// pure policy: they neither know about time nor about DVFS. The runtime
+// (internal/rts) charges scheduling costs and drives reconfiguration.
+type Scheduler interface {
+	Name() string
+	// Enqueue adds a ready task (its Critical flag is already set by the
+	// criticality estimator).
+	Enqueue(t *tdg.Task)
+	// Dequeue returns the task the policy assigns to the requesting core,
+	// or nil if the policy has nothing for that core.
+	Dequeue(core int) *tdg.Task
+	// Len returns the number of queued ready tasks.
+	Len() int
+}
+
+// CoreInfo is what CATS needs to know about the machine: the static core
+// classes and whether any fast core is currently idle (its stealing rule:
+// "task stealing from the HPRQ is accepted only if no fast cores are
+// idling", §II-C).
+type CoreInfo interface {
+	IsFast(core int) bool
+	AnyFastIdle() bool
+}
+
+// Stats counts policy-level scheduling events; the paper's §II-C
+// misbehaviors (priority inversion, and the raw material for static
+// binding analysis) are observable here.
+type Stats struct {
+	// Dispatched counts tasks handed to cores.
+	Dispatched int64
+	// CriticalToSlow counts critical tasks dispatched to slow cores:
+	// priority inversions (§II-C).
+	CriticalToSlow int64
+	// CriticalToFast and NonCriticalToFast split fast-core dispatches.
+	CriticalToFast    int64
+	NonCriticalToFast int64
+	// Steals counts slow-core dequeues from the HPRQ.
+	Steals int64
+}
+
+// FIFO is the baseline scheduler (§II-C): one ready queue, first in first
+// out, blind to criticality and to core classes.
+type FIFO struct {
+	q     Queue
+	stats Stats
+	info  CoreInfo
+}
+
+// NewFIFO returns a FIFO scheduler. info may be nil; it is used only to
+// attribute inversion statistics.
+func NewFIFO(info CoreInfo) *FIFO { return &FIFO{info: info} }
+
+// Name implements Scheduler.
+func (f *FIFO) Name() string { return "FIFO" }
+
+// Enqueue implements Scheduler.
+func (f *FIFO) Enqueue(t *tdg.Task) { f.q.Push(t) }
+
+// Dequeue implements Scheduler.
+func (f *FIFO) Dequeue(core int) *tdg.Task {
+	t := f.q.Pop()
+	if t != nil {
+		f.account(core, t)
+	}
+	return t
+}
+
+// Len implements Scheduler.
+func (f *FIFO) Len() int { return f.q.Len() }
+
+// Stats returns dispatch statistics.
+func (f *FIFO) Stats() *Stats { return &f.stats }
+
+func (f *FIFO) account(core int, t *tdg.Task) {
+	f.stats.Dispatched++
+	if f.info == nil {
+		return
+	}
+	switch {
+	case t.Critical && !f.info.IsFast(core):
+		f.stats.CriticalToSlow++
+	case t.Critical:
+		f.stats.CriticalToFast++
+	case f.info.IsFast(core):
+		f.stats.NonCriticalToFast++
+	}
+}
+
+// CATS is the Criticality-Aware Task Scheduler of [24] (§II-C): ready
+// tasks split into a high-priority (critical) and low-priority queue; fast
+// cores serve the HPRQ first and fall back to the LPRQ; slow cores serve
+// the LPRQ and may steal from the HPRQ only when no fast core is idle.
+type CATS struct {
+	hprq, lprq Queue
+	info       CoreInfo
+	stats      Stats
+}
+
+// NewCATS returns a CATS scheduler over the given core classes.
+func NewCATS(info CoreInfo) *CATS {
+	if info == nil {
+		panic("sched: CATS requires core info")
+	}
+	return &CATS{info: info}
+}
+
+// Name implements Scheduler.
+func (c *CATS) Name() string { return "CATS" }
+
+// Enqueue implements Scheduler.
+func (c *CATS) Enqueue(t *tdg.Task) {
+	if t.Critical {
+		c.hprq.Push(t)
+	} else {
+		c.lprq.Push(t)
+	}
+}
+
+// Dequeue implements Scheduler.
+func (c *CATS) Dequeue(core int) *tdg.Task {
+	var t *tdg.Task
+	if c.info.IsFast(core) {
+		if t = c.hprq.Pop(); t == nil {
+			t = c.lprq.Pop()
+		}
+	} else {
+		if t = c.lprq.Pop(); t == nil && !c.info.AnyFastIdle() {
+			if t = c.hprq.Pop(); t != nil {
+				c.stats.Steals++
+			}
+		}
+	}
+	if t != nil {
+		c.accountDispatch(core, t)
+	}
+	return t
+}
+
+// Len implements Scheduler.
+func (c *CATS) Len() int { return c.hprq.Len() + c.lprq.Len() }
+
+// Stats returns dispatch statistics.
+func (c *CATS) Stats() *Stats { return &c.stats }
+
+func (c *CATS) accountDispatch(core int, t *tdg.Task) {
+	c.stats.Dispatched++
+	switch {
+	case t.Critical && !c.info.IsFast(core):
+		c.stats.CriticalToSlow++
+	case t.Critical:
+		c.stats.CriticalToFast++
+	case c.info.IsFast(core):
+		c.stats.NonCriticalToFast++
+	}
+}
+
+// CritFirst is the scheduling policy inside CATA (§III-A): the machine is
+// reconfigured rather than statically heterogeneous, so every core first
+// tries the critical queue and then the non-critical one. Acceleration is
+// decided separately by the RSM/RSU after dispatch.
+type CritFirst struct {
+	hprq, lprq Queue
+	stats      Stats
+}
+
+// NewCritFirst returns a CritFirst scheduler.
+func NewCritFirst() *CritFirst { return &CritFirst{} }
+
+// Name implements Scheduler.
+func (c *CritFirst) Name() string { return "CritFirst" }
+
+// Enqueue implements Scheduler.
+func (c *CritFirst) Enqueue(t *tdg.Task) {
+	if t.Critical {
+		c.hprq.Push(t)
+	} else {
+		c.lprq.Push(t)
+	}
+}
+
+// Dequeue implements Scheduler.
+func (c *CritFirst) Dequeue(int) *tdg.Task {
+	if t := c.hprq.Pop(); t != nil {
+		c.stats.Dispatched++
+		return t
+	}
+	t := c.lprq.Pop()
+	if t != nil {
+		c.stats.Dispatched++
+	}
+	return t
+}
+
+// Len implements Scheduler.
+func (c *CritFirst) Len() int { return c.hprq.Len() + c.lprq.Len() }
+
+// Stats returns dispatch statistics.
+func (c *CritFirst) Stats() *Stats { return &c.stats }

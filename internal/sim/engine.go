@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Handle identifies a scheduled event and allows cancelling it before it
+// fires. The zero value is invalid; handles are obtained from Engine.At and
+// Engine.After.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op. Cancel reports whether the
+// event was still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.cancelled || h.ev.fired {
+		return false
+	}
+	h.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h Handle) Pending() bool {
+	return h.ev != nil && !h.ev.cancelled && !h.ev.fired
+}
+
+type event struct {
+	at        Time
+	seq       uint64 // FIFO tie-break for equal timestamps
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a sequential discrete-event simulator. Events scheduled for the
+// same timestamp fire in scheduling order (FIFO), which makes simulations
+// fully deterministic.
+//
+// Engine is not safe for concurrent use; a simulation runs on one
+// goroutine. Run independent simulations on independent Engines to use
+// multiple CPUs.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it always indicates a model bug, and silently clamping would
+// hide it.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event function")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+// Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue drains or Stop is
+// called. It returns the number of events executed during this call.
+func (e *Engine) Run() uint64 {
+	return e.run(func(*event) bool { return false })
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if it is ahead of the last event). It returns the
+// number of events executed during this call.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	n := e.run(func(ev *event) bool { return ev.at > deadline })
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+func (e *Engine) run(stopBefore func(*event) bool) uint64 {
+	e.stopped = false
+	var n uint64
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if stopBefore(next) {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, next.at))
+		}
+		e.now = next.at
+		next.fired = true
+		next.fn()
+		n++
+		e.fired++
+	}
+	return n
+}

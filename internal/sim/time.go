@@ -1,0 +1,109 @@
+// Package sim provides the discrete-event simulation kernel used by the
+// CATA reproduction: a picosecond-resolution clock, a cancellable event
+// queue, and a deterministic sequential engine.
+//
+// The kernel is deliberately sequential. Determinism across runs (same
+// inputs, same event ordering, bit-identical results) matters more for a
+// simulator than intra-run parallelism; the experiment harness in
+// internal/exp parallelizes across independent simulations instead.
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time (or a duration) in picoseconds.
+//
+// Picoseconds make every cycle count of the two paper frequencies exact:
+// a 2 GHz cycle is 500 ps and a 1 GHz cycle is 1000 ps. The int64 range
+// covers ±106 days, far beyond any simulated execution.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time with a unit chosen by magnitude, e.g. "25µs".
+func (t Time) String() string {
+	neg := ""
+	v := t
+	if v < 0 {
+		neg = "-"
+		v = -v
+	}
+	switch {
+	case v == 0:
+		return "0s"
+	case v < Nanosecond:
+		return fmt.Sprintf("%s%dps", neg, int64(v))
+	case v < Microsecond:
+		return fmt.Sprintf("%s%gns", neg, float64(v)/float64(Nanosecond))
+	case v < Millisecond:
+		return fmt.Sprintf("%s%gµs", neg, float64(v)/float64(Microsecond))
+	case v < Second:
+		return fmt.Sprintf("%s%gms", neg, float64(v)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%s%gs", neg, float64(v)/float64(Second))
+	}
+}
+
+// Hertz is a clock frequency in cycles per second.
+type Hertz int64
+
+// Common frequencies.
+const (
+	Kilohertz Hertz = 1e3
+	Megahertz Hertz = 1e6
+	Gigahertz Hertz = 1e9
+)
+
+// Period returns the duration of one clock cycle at frequency f.
+// It panics if f is not positive: a core never runs at 0 Hz in this model.
+func (f Hertz) Period() Time {
+	if f <= 0 {
+		panic(fmt.Sprintf("sim: non-positive frequency %d", f))
+	}
+	return Time(int64(Second) / int64(f))
+}
+
+// String renders the frequency with a unit chosen by magnitude.
+func (f Hertz) String() string {
+	switch {
+	case f >= Gigahertz:
+		return fmt.Sprintf("%gGHz", float64(f)/float64(Gigahertz))
+	case f >= Megahertz:
+		return fmt.Sprintf("%gMHz", float64(f)/float64(Megahertz))
+	case f >= Kilohertz:
+		return fmt.Sprintf("%gkHz", float64(f)/float64(Kilohertz))
+	default:
+		return fmt.Sprintf("%dHz", int64(f))
+	}
+}
+
+// Cycles returns the time n clock cycles take at frequency f.
+func Cycles(n int64, f Hertz) Time {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: negative cycle count %d", n))
+	}
+	return Time(n) * f.Period()
+}
+
+// CyclesIn returns how many whole cycles of frequency f fit in d.
+func CyclesIn(d Time, f Hertz) int64 {
+	if d < 0 {
+		return 0
+	}
+	return int64(d) / int64(f.Period())
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cata/internal/sim"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Count() != 0 {
+		t.Fatal("zero Summary not zero")
+	}
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		s.Observe(v)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Sum() != 14 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+	if s.Mean() != 2.8 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryStdDev(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if got := s.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	var one Summary
+	one.Observe(42)
+	if one.StdDev() != 0 {
+		t.Fatal("StdDev of single observation should be 0")
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, all Summary
+	for i, v := range []float64{1, 2, 3, 4, 5, 6} {
+		all.Observe(v)
+		if i < 3 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Mean() != all.Mean() ||
+		a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merged summary differs: %+v vs %+v", a, all)
+	}
+	var empty Summary
+	a.Merge(&empty)
+	if a.Count() != 6 {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+func TestDurationSummary(t *testing.T) {
+	var d DurationSummary
+	d.ObserveTime(10 * sim.Microsecond)
+	d.ObserveTime(30 * sim.Microsecond)
+	if d.MeanTime() != 20*sim.Microsecond {
+		t.Fatalf("MeanTime = %v", d.MeanTime())
+	}
+	if d.MaxTime() != 30*sim.Microsecond || d.MinTime() != 10*sim.Microsecond {
+		t.Fatalf("Min/Max = %v/%v", d.MinTime(), d.MaxTime())
+	}
+	if d.SumTime() != 40*sim.Microsecond {
+		t.Fatalf("SumTime = %v", d.SumTime())
+	}
+}
+
+func TestHist(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero Hist not zero")
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(25 * sim.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 25*sim.Microsecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	q := h.Quantile(0.5)
+	// Bucket resolution is 2x; median must be within one bucket of truth.
+	if q < 12*sim.Microsecond || q > 50*sim.Microsecond {
+		t.Fatalf("Quantile(0.5) = %v, want within [12.5µs, 50µs]", q)
+	}
+	h.Observe(-5) // clamps, must not panic
+}
+
+func TestHistQuantileOrdering(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 10000; i++ {
+		h.Observe(sim.Time(i) * sim.Nanosecond)
+	}
+	q10 := h.Quantile(0.1)
+	q50 := h.Quantile(0.5)
+	q99 := h.Quantile(0.99)
+	if !(q10 <= q50 && q50 <= q99) {
+		t.Fatalf("quantiles not monotone: %v %v %v", q10, q50, q99)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean of non-positive did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMeanMedian(t *testing.T) {
+	vs := []float64{5, 1, 3}
+	if Mean(vs) != 3 {
+		t.Fatalf("Mean = %v", Mean(vs))
+	}
+	if Median(vs) != 3 {
+		t.Fatalf("Median = %v", Median(vs))
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	if vs[0] != 5 {
+		t.Fatal("Median mutated input")
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty aggregates not 0")
+	}
+}
+
+// Property: Summary mean always lies within [min, max]. Inputs are bounded
+// to the magnitudes the simulator produces (durations, joules); the sum
+// overflows for adversarial 1e308-scale inputs, which we do not care about.
+func TestSummaryMeanBounds(t *testing.T) {
+	f := func(vs []int32) bool {
+		var s Summary
+		ok := true
+		for _, raw := range vs {
+			v := float64(raw)
+			s.Observe(v)
+			ok = ok && s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Hist mean is exact regardless of bucketing.
+func TestHistMeanExact(t *testing.T) {
+	f := func(ds []uint32) bool {
+		if len(ds) == 0 {
+			return true
+		}
+		var h Hist
+		var sum int64
+		for _, d := range ds {
+			h.Observe(sim.Time(d))
+			sum += int64(d)
+		}
+		return h.Mean() == sim.Time(sum/int64(len(ds)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistString(t *testing.T) {
+	var h Hist
+	h.Observe(25 * sim.Microsecond)
+	h.Observe(25 * sim.Microsecond)
+	out := h.String()
+	if !strings.Contains(out, "n=2") || !strings.Contains(out, "mean=25µs") {
+		t.Fatalf("Hist.String = %q", out)
+	}
+}

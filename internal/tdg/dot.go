@@ -1,0 +1,42 @@
+package tdg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the given tasks as a Graphviz digraph, one node per
+// task labeled with its type, ID and bottom level. Critical tasks are
+// drawn as boxes, mirroring Figure 1 of the paper. Useful for debugging
+// workload generators and for documentation.
+func WriteDOT(w io.Writer, tasks []*Task) error {
+	sorted := append([]*Task(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	if _, err := fmt.Fprintln(w, "digraph tdg {"); err != nil {
+		return err
+	}
+	for _, t := range sorted {
+		shape := "ellipse"
+		if t.Critical {
+			shape = "box"
+		}
+		name := "?"
+		if t.Type != nil {
+			name = t.Type.Name
+		}
+		if _, err := fmt.Fprintf(w, "  t%d [label=\"%s #%d\\nbl=%d\" shape=%s];\n",
+			t.ID, name, t.ID, t.BottomLevel, shape); err != nil {
+			return err
+		}
+	}
+	for _, t := range sorted {
+		for _, s := range t.succs {
+			if _, err := fmt.Fprintf(w, "  t%d -> t%d;\n", t.ID, s.ID); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,223 @@
+package tdg
+
+import "fmt"
+
+// Graph is the runtime's task dependence graph. Tasks are submitted in
+// program order; the graph resolves data dependences into edges exactly as
+// OmpSs/OpenMP 4.0 do:
+//
+//   - an `in` on a datum depends on the datum's last writer (RAW);
+//   - an `out` on a datum depends on the last writer (WAW) and on every
+//     reader since that write (WAR), then becomes the new last writer.
+//
+// The graph also maintains each live task's bottom level incrementally and
+// reports how many nodes each submission visited, so the runtime can
+// charge the dynamic criticality estimator's exploration cost (§II-B:
+// "exploring the TDG every time a task is created can become costly").
+//
+// Graph is not safe for concurrent use; the simulation is single-threaded.
+type Graph struct {
+	onReady func(*Task)
+
+	writers map[Token]*Task
+	readers map[Token][]*Task
+
+	submitted int
+	completed int
+
+	// blCount[v] = number of live (not Done) tasks with BottomLevel v,
+	// used to answer MaxLiveBL exactly.
+	blCount map[int64]int
+	maxBL   int64
+}
+
+// New returns an empty graph. onReady is invoked (synchronously, in
+// deterministic submission order) whenever a task becomes Ready.
+func New(onReady func(*Task)) *Graph {
+	return &Graph{
+		onReady: onReady,
+		writers: make(map[Token]*Task),
+		readers: make(map[Token][]*Task),
+		blCount: make(map[int64]int),
+	}
+}
+
+// Submitted returns the number of tasks submitted so far.
+func (g *Graph) Submitted() int { return g.submitted }
+
+// Completed returns the number of tasks completed so far.
+func (g *Graph) Completed() int { return g.completed }
+
+// Live returns the number of submitted-but-not-completed tasks.
+func (g *Graph) Live() int { return g.submitted - g.completed }
+
+// AllDone reports whether every submitted task has completed.
+func (g *Graph) AllDone() bool { return g.submitted == g.completed }
+
+// Submit adds a task in program order, resolving its dependences. It
+// returns the number of TDG nodes visited while updating bottom levels
+// (>= 1), the quantity the bottom-level estimator's overhead is charged
+// on. If the task has no unresolved dependences it becomes Ready
+// immediately and onReady fires before Submit returns.
+func (g *Graph) Submit(t *Task) (visited int) {
+	if t.state != Waiting || t.nwait != 0 || len(t.preds) > 0 {
+		panic(fmt.Sprintf("tdg: resubmission of %v", t))
+	}
+	g.submitted++
+
+	// Resolve dependences. A predecessor may appear through several
+	// data; dedupe so nwait counts distinct tasks.
+	seen := make(map[*Task]bool)
+	addEdge := func(pred *Task) {
+		if pred == nil || pred == t || pred.state == Done || seen[pred] {
+			return
+		}
+		seen[pred] = true
+		t.preds = append(t.preds, pred)
+		pred.succs = append(pred.succs, t)
+		t.nwait++
+	}
+	for _, d := range t.Ins {
+		addEdge(g.writers[d])
+	}
+	for _, d := range t.Outs {
+		addEdge(g.writers[d])
+		for _, r := range g.readers[d] {
+			addEdge(r)
+		}
+	}
+	// Register accesses: readers accumulate until the next writer.
+	for _, d := range t.Ins {
+		g.readers[d] = append(g.readers[d], t)
+	}
+	for _, d := range t.Outs {
+		g.writers[d] = t
+		g.readers[d] = g.readers[d][:0]
+	}
+
+	// The new task is a leaf: BottomLevel 0. Its predecessors' bottom
+	// levels may grow; propagate upward.
+	t.BottomLevel = 0
+	g.blCount[0]++
+	visited = 1 + g.raiseBL(t)
+
+	if t.nwait == 0 {
+		g.makeReady(t)
+	}
+	return visited
+}
+
+// raiseBL propagates a bottom-level increase from t to its ancestors,
+// returning the number of nodes visited (excluding t itself).
+func (g *Graph) raiseBL(t *Task) int {
+	visited := 0
+	stack := []*Task{t}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		need := n.BottomLevel + 1
+		for _, p := range n.preds {
+			visited++
+			if p.BottomLevel < need {
+				g.setBL(p, need)
+				stack = append(stack, p)
+			}
+		}
+	}
+	return visited
+}
+
+func (g *Graph) setBL(t *Task, v int64) {
+	if t.state != Done {
+		g.decBL(t.BottomLevel)
+		g.blCount[v]++
+		if v > g.maxBL {
+			g.maxBL = v
+		}
+	}
+	t.BottomLevel = v
+}
+
+func (g *Graph) decBL(v int64) {
+	g.blCount[v]--
+	if g.blCount[v] == 0 {
+		delete(g.blCount, v)
+		if v == g.maxBL {
+			for g.maxBL > 0 && g.blCount[g.maxBL] == 0 {
+				g.maxBL--
+			}
+		}
+	}
+}
+
+// MaxLiveBL returns the largest bottom level among live tasks (0 when
+// empty). This is the reference the bottom-level criticality estimator
+// compares against (§II-B: "tasks with the highest BL ... are considered
+// critical").
+func (g *Graph) MaxLiveBL() int64 { return g.maxBL }
+
+func (g *Graph) makeReady(t *Task) {
+	t.state = Ready
+	if g.onReady != nil {
+		g.onReady(t)
+	}
+}
+
+// Start marks a Ready task Running (dispatch bookkeeping).
+func (g *Graph) Start(t *Task) {
+	if t.state != Ready {
+		panic(fmt.Sprintf("tdg: Start on %v", t))
+	}
+	t.state = Running
+}
+
+// Complete marks a Running task Done and releases its successors; each
+// successor whose last dependence this was becomes Ready (onReady fires in
+// edge insertion order). It returns the number of successors released.
+func (g *Graph) Complete(t *Task) int {
+	if t.state != Running {
+		panic(fmt.Sprintf("tdg: Complete on %v", t))
+	}
+	t.state = Done
+	g.completed++
+	g.decBL(t.BottomLevel)
+	released := 0
+	for _, s := range t.succs {
+		s.nwait--
+		if s.nwait == 0 {
+			released++
+			g.makeReady(s)
+		}
+	}
+	return released
+}
+
+// CheckAcyclic walks the whole graph reachable from the given tasks and
+// panics if a dependence cycle exists. Submission order makes cycles
+// impossible by construction (edges always point from earlier to later
+// submissions); tests call this to enforce the invariant.
+func CheckAcyclic(tasks []*Task) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[*Task]int, len(tasks))
+	var visit func(t *Task)
+	visit = func(t *Task) {
+		switch color[t] {
+		case grey:
+			panic(fmt.Sprintf("tdg: dependence cycle through %v", t))
+		case black:
+			return
+		}
+		color[t] = grey
+		for _, s := range t.succs {
+			visit(s)
+		}
+		color[t] = black
+	}
+	for _, t := range tasks {
+		visit(t)
+	}
+}

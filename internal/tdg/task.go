@@ -1,0 +1,119 @@
+// Package tdg implements the task dependence graph at the heart of the
+// task-based programming model (§II-A): tasks with in/out data
+// dependences, OmpSs-style RAW/WAR/WAW edge resolution, ready tracking,
+// and the incremental bottom-level computation used by dynamic criticality
+// estimation (§II-B, [24]).
+package tdg
+
+import (
+	"fmt"
+
+	"cata/internal/sim"
+)
+
+// Token names a datum a task reads or writes. Workload generators allocate
+// tokens; the graph resolves them into dependence edges.
+type Token uint64
+
+// TaskType describes a task construct in the program source — one
+// `#pragma omp task` annotation site. Every execution of the type is a
+// task instance (§II-A).
+type TaskType struct {
+	// Name identifies the type in reports (e.g. "compress", "rank").
+	Name string
+	// Criticality is the static annotation from the paper's proposed
+	// `criticality(c)` clause: 0 is non-critical, higher values are more
+	// critical (§II-B).
+	Criticality int
+}
+
+// State is a task's lifecycle position.
+type State int
+
+const (
+	// Waiting: submitted, some dependences unresolved.
+	Waiting State = iota
+	// Ready: all dependences resolved, queued for scheduling.
+	Ready
+	// Running: dispatched to a core.
+	Running
+	// Done: finished; output dependences released.
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Waiting:
+		return "waiting"
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Task is one task instance. The work fields describe its execution cost
+// on the machine model: CPUCycles scale with core frequency, MemTime does
+// not, and IOTime is spent halted in a blocking kernel service (§V-D).
+type Task struct {
+	ID   int
+	Type *TaskType
+
+	CPUCycles int64
+	MemTime   sim.Time
+	IOTime    sim.Time
+
+	// Ins and Outs are the task's data dependences. A datum appearing in
+	// both is an inout dependence.
+	Ins, Outs []Token
+
+	// Critical is decided by the criticality estimator when the task is
+	// dispatched (static annotations or bottom-level).
+	Critical bool
+
+	// BottomLevel is the length of the longest dependence path from this
+	// task to a leaf of the currently known TDG (Figure 1). Maintained
+	// incrementally by the graph.
+	BottomLevel int64
+
+	state State
+	preds []*Task
+	succs []*Task
+	nwait int // unresolved predecessor count
+
+	// Timeline bookkeeping, filled by the runtime.
+	SubmittedAt sim.Time
+	ReadyAt     sim.Time
+	StartedAt   sim.Time
+	EndedAt     sim.Time
+	Core        int
+}
+
+// State returns the task's lifecycle state.
+func (t *Task) State() State { return t.state }
+
+// Preds returns the predecessor tasks (dependences this task waits on).
+// The returned slice is owned by the graph; callers must not modify it.
+func (t *Task) Preds() []*Task { return t.preds }
+
+// Succs returns the successor tasks. The returned slice is owned by the
+// graph; callers must not modify it.
+func (t *Task) Succs() []*Task { return t.succs }
+
+// Duration returns the task's execution time at frequency f, excluding
+// IOTime: cycles at f plus the frequency-invariant memory time.
+func (t *Task) Duration(f sim.Hertz) sim.Time {
+	return sim.Cycles(t.CPUCycles, f) + t.MemTime
+}
+
+func (t *Task) String() string {
+	name := "?"
+	if t.Type != nil {
+		name = t.Type.Name
+	}
+	return fmt.Sprintf("task %d (%s, bl=%d, %s)", t.ID, name, t.BottomLevel, t.state)
+}

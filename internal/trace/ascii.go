@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cata/internal/sim"
+	"cata/internal/tdg"
+)
+
+// RenderASCII draws the task timeline as a per-core Gantt chart in plain
+// text, width columns wide. Critical tasks render as '#', non-critical as
+// '=', gaps as '.'. When several tasks fall into one column the column
+// shows the character of the longest-running one. A terminal-friendly
+// stand-in for the Chrome trace when eyeballing a run.
+func RenderASCII(w io.Writer, tasks []*tdg.Task, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	var end sim.Time
+	maxCore := 0
+	done := make([]*tdg.Task, 0, len(tasks))
+	for _, t := range tasks {
+		if t.State() != tdg.Done {
+			continue
+		}
+		done = append(done, t)
+		if t.EndedAt > end {
+			end = t.EndedAt
+		}
+		if t.Core > maxCore {
+			maxCore = t.Core
+		}
+	}
+	if len(done) == 0 {
+		return fmt.Errorf("trace: no finished tasks to render")
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].StartedAt < done[j].StartedAt })
+
+	// rows[core][col] = (occupancy, critical) of the dominant task.
+	type cell struct {
+		busy sim.Time
+		crit bool
+	}
+	rows := make([][]cell, maxCore+1)
+	for i := range rows {
+		rows[i] = make([]cell, width)
+	}
+	colDur := end / sim.Time(width)
+	if colDur == 0 {
+		colDur = 1
+	}
+	for _, t := range done {
+		first := int(t.StartedAt / colDur)
+		last := int(t.EndedAt / colDur)
+		for col := first; col <= last && col < width; col++ {
+			colStart := sim.Time(col) * colDur
+			colEnd := colStart + colDur
+			lo, hi := t.StartedAt, t.EndedAt
+			if lo < colStart {
+				lo = colStart
+			}
+			if hi > colEnd {
+				hi = colEnd
+			}
+			if hi <= lo {
+				continue
+			}
+			c := &rows[t.Core][col]
+			if hi-lo > c.busy {
+				c.busy = hi - lo
+				c.crit = t.Critical
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "timeline: %v total, one column = %v ('#' critical, '=' task, '.' idle)\n",
+		end, colDur); err != nil {
+		return err
+	}
+	for core, cols := range rows {
+		var b strings.Builder
+		fmt.Fprintf(&b, "core %2d |", core)
+		for _, c := range cols {
+			switch {
+			case c.busy == 0:
+				b.WriteByte('.')
+			case c.crit:
+				b.WriteByte('#')
+			default:
+				b.WriteByte('=')
+			}
+		}
+		b.WriteString("|\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

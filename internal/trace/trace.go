@@ -1,0 +1,99 @@
+// Package trace exports simulated task timelines in the Chrome trace
+// event format (chrome://tracing, Perfetto), the role the paper's
+// profiling-tool visualizations play in choosing criticality annotations
+// (§IV: "we make use of existing profiling tools to visualize the
+// parallel execution of the application and identify its critical path").
+//
+// Each executed task becomes one complete ("X") event on its core's row;
+// critical tasks carry a distinguishing category so the UI colors them.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"cata/internal/sim"
+	"cata/internal/tdg"
+)
+
+// Event is one Chrome trace event (subset of the spec this package emits).
+type Event struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	// Ph is the event phase; always "X" (complete event).
+	Ph string `json:"ph"`
+	// Ts and Dur are in microseconds per the trace format.
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur"`
+	Pid int     `json:"pid"`
+	Tid int     `json:"tid"`
+
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// File is the top-level trace JSON object.
+type File struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// FromTasks converts executed tasks into trace events, ordered by start
+// time. Unstarted tasks are skipped.
+func FromTasks(tasks []*tdg.Task) []Event {
+	events := make([]Event, 0, len(tasks))
+	for _, t := range tasks {
+		if t.State() != tdg.Done {
+			continue
+		}
+		cat := "task"
+		if t.Critical {
+			cat = "task,critical"
+		}
+		name := "?"
+		if t.Type != nil {
+			name = t.Type.Name
+		}
+		events = append(events, Event{
+			Name: fmt.Sprintf("%s #%d", name, t.ID),
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   t.StartedAt.Micros(),
+			Dur:  (t.EndedAt - t.StartedAt).Micros(),
+			Pid:  1,
+			Tid:  t.Core,
+			Args: map[string]interface{}{
+				"critical":      t.Critical,
+				"bottom_level":  t.BottomLevel,
+				"ready_wait_us": (t.StartedAt - t.ReadyAt).Micros(),
+			},
+		})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		return events[i].Tid < events[j].Tid
+	})
+	return events
+}
+
+// Write emits the tasks as a Chrome trace JSON document.
+func Write(w io.Writer, tasks []*tdg.Task) error {
+	f := File{TraceEvents: FromTasks(tasks), DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// Summary returns per-core busy time computed from the trace, a quick
+// utilization check without the full machine statistics.
+func Summary(tasks []*tdg.Task) map[int]sim.Time {
+	busy := make(map[int]sim.Time)
+	for _, t := range tasks {
+		if t.State() == tdg.Done {
+			busy[t.Core] += t.EndedAt - t.StartedAt
+		}
+	}
+	return busy
+}

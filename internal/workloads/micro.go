@@ -1,0 +1,65 @@
+package workloads
+
+import (
+	"cata/internal/program"
+	"cata/internal/sim"
+	"cata/internal/tdg"
+)
+
+// Micro-workloads: minimal structures used by tests, examples and
+// ablations. They are not part of the paper's benchmark set but exercise
+// the same code paths with analyzable shapes.
+
+var (
+	microPlain = &tdg.TaskType{Name: "micro", Criticality: 0}
+	microCrit  = &tdg.TaskType{Name: "micro_crit", Criticality: 1}
+)
+
+// ForkJoin builds `phases` barrier-separated phases of `width` independent
+// tasks with the given duration at 1 GHz and ±imbalance jitter. critical
+// annotates the tasks critical.
+func ForkJoin(seed uint64, phases, width int, dur sim.Time, imbalance float64, critical bool) *program.Program {
+	b := newBuilder("micro-forkjoin", seed)
+	tt := microPlain
+	if critical {
+		tt = microCrit
+	}
+	for p := 0; p < phases; p++ {
+		for i := 0; i < width; i++ {
+			b.task(tt, b.jitterDur(dur, imbalance), 0.25, nil, nil, 0)
+		}
+		b.barrier()
+	}
+	return b.p
+}
+
+// Chain builds a serial dependence chain of n critical tasks.
+func Chain(seed uint64, n int, dur sim.Time) *program.Program {
+	b := newBuilder("micro-chain", seed)
+	tok := b.token()
+	for i := 0; i < n; i++ {
+		b.task(microCrit, b.jitterDur(dur, 0.05), 0.25,
+			[]tdg.Token{tok}, []tdg.Token{tok}, 0)
+	}
+	return b.p
+}
+
+// Diamond builds n diamond motifs: one source fans out to `width` middles
+// which join into one critical sink, chained source-to-sink.
+func Diamond(seed uint64, n, width int, dur sim.Time) *program.Program {
+	b := newBuilder("micro-diamond", seed)
+	chain := b.token()
+	for i := 0; i < n; i++ {
+		src := b.token()
+		b.task(microPlain, b.jitterDur(dur, 0.1), 0.25,
+			[]tdg.Token{chain}, []tdg.Token{src}, 0)
+		mids := b.tokens(width)
+		for w := 0; w < width; w++ {
+			b.task(microPlain, b.lognormDur(dur, 0.4), 0.25,
+				[]tdg.Token{src}, []tdg.Token{mids[w]}, 0)
+		}
+		b.task(microCrit, b.jitterDur(dur, 0.1), 0.25,
+			mids, []tdg.Token{chain}, 0)
+	}
+	return b.p
+}

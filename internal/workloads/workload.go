@@ -1,0 +1,153 @@
+// Package workloads generates synthetic task graphs reproducing the
+// structural properties of the six PARSECSs benchmarks the paper evaluates
+// (§IV): blackscholes and swaptions (fork-join), fluidanimate (3D stencil),
+// and bodytrack, dedup and ferret (pipelines).
+//
+// We do not ship PARSEC code or inputs (DESIGN.md §2). Each generator
+// reproduces the published characteristics the paper's analysis relies on:
+// the parallelism pattern, the task-type count and criticality annotations,
+// inter-type duration ratios (bodytrack's order-of-magnitude spread),
+// IO-bound critical stages (dedup/ferret writers), task granularity and
+// load imbalance. All draws come from seeded deterministic streams.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"cata/internal/program"
+	"cata/internal/sim"
+	"cata/internal/tdg"
+	"cata/internal/xrand"
+)
+
+// Workload generates a Program.
+type Workload interface {
+	// Name is the benchmark name, lowercase (e.g. "dedup").
+	Name() string
+	// Description summarizes structure and why the paper's mechanisms
+	// engage (or not) on it.
+	Description() string
+	// Build generates the program. scale in (0, 1] shrinks task counts
+	// (not task sizes), preserving the structure for fast tests; 1.0 is
+	// the experiment size.
+	Build(seed uint64, scale float64) *program.Program
+}
+
+// All returns the six benchmarks in the paper's presentation order.
+func All() []Workload {
+	return []Workload{
+		Blackscholes{},
+		Swaptions{},
+		Fluidanimate{},
+		Bodytrack{},
+		Dedup{},
+		Ferret{},
+	}
+}
+
+// ByName returns the workload with the given name.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	names := make([]string, 0, len(All()))
+	for _, w := range All() {
+		names = append(names, w.Name())
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, names)
+}
+
+// builder accumulates a program with token bookkeeping and duration
+// helpers shared by all generators.
+type builder struct {
+	p    *program.Program
+	rng  *xrand.Source
+	next tdg.Token
+}
+
+func newBuilder(name string, seed uint64) *builder {
+	return &builder{
+		p:   &program.Program{Name: name},
+		rng: xrand.New(seed).Stream(name),
+		// Token 0 is reserved as "never used" to catch bugs.
+		next: 1,
+	}
+}
+
+// token allocates a fresh datum token.
+func (b *builder) token() tdg.Token {
+	t := b.next
+	b.next++
+	return t
+}
+
+// tokens allocates n fresh tokens.
+func (b *builder) tokens(n int) []tdg.Token {
+	ts := make([]tdg.Token, n)
+	for i := range ts {
+		ts[i] = b.token()
+	}
+	return ts
+}
+
+// task appends a task whose duration at the slow level (1 GHz) is slowDur,
+// split into a frequency-scaled cycle component and a frequency-invariant
+// memory component by memFrac (the fraction of time stalled on memory).
+func (b *builder) task(tt *tdg.TaskType, slowDur sim.Time, memFrac float64, ins, outs []tdg.Token, io sim.Time) {
+	if slowDur <= 0 {
+		panic(fmt.Sprintf("workloads: non-positive duration for %s", tt.Name))
+	}
+	if memFrac < 0 || memFrac > 1 {
+		panic(fmt.Sprintf("workloads: memFrac %v out of range", memFrac))
+	}
+	mem := sim.Time(float64(slowDur) * memFrac)
+	cycles := int64((slowDur - mem) / sim.Gigahertz.Period())
+	if cycles == 0 && mem == 0 {
+		cycles = 1
+	}
+	b.p.AddTask(program.TaskSpec{
+		Type:      tt,
+		CPUCycles: cycles,
+		MemTime:   mem,
+		IOTime:    io,
+		Ins:       ins,
+		Outs:      outs,
+	})
+}
+
+// barrier appends a taskwait.
+func (b *builder) barrier() { b.p.AddBarrier() }
+
+// scaled returns max(1, round(n*scale)), clamping scale into (0, 1].
+func scaled(n int, scale float64) int {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	v := int(float64(n)*scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// jitterDur samples base scaled uniformly within ±frac.
+func (b *builder) jitterDur(base sim.Time, frac float64) sim.Time {
+	return sim.Time(b.rng.Jitter(float64(base), frac))
+}
+
+// lognormDur samples a log-normal duration with the given mean and sigma,
+// clamped to [mean/8, mean*12] to keep tails physical.
+func (b *builder) lognormDur(mean sim.Time, sigma float64) sim.Time {
+	v := sim.Time(b.rng.LogNormalMean(float64(mean), sigma))
+	if min := mean / 8; v < min {
+		v = min
+	}
+	if max := mean * 12; v > max {
+		v = max
+	}
+	return v
+}

@@ -1,0 +1,349 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cata/internal/program"
+	"cata/internal/sim"
+	"cata/internal/stats"
+	"cata/internal/tdg"
+)
+
+func TestAllSixBenchmarks(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("All() = %d workloads, want 6", len(all))
+	}
+	want := []string{"blackscholes", "swaptions", "fluidanimate", "bodytrack", "dedup", "ferret"}
+	for i, w := range all {
+		if w.Name() != want[i] {
+			t.Fatalf("workload %d = %s, want %s (paper order)", i, w.Name(), want[i])
+		}
+		if w.Description() == "" {
+			t.Fatalf("%s has no description", w.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("dedup")
+	if err != nil || w.Name() != "dedup" {
+		t.Fatalf("ByName(dedup) = %v, %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestProgramsValidate(t *testing.T) {
+	for _, w := range All() {
+		p := w.Build(42, 1.0)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if p.Tasks() < 100 {
+			t.Fatalf("%s: only %d tasks at full scale", w.Name(), p.Tasks())
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	for _, w := range All() {
+		a := w.Build(7, 0.5)
+		b := w.Build(7, 0.5)
+		if len(a.Items) != len(b.Items) {
+			t.Fatalf("%s: item counts differ", w.Name())
+		}
+		for i := range a.Items {
+			ta, tb := a.Items[i].Task, b.Items[i].Task
+			if (ta == nil) != (tb == nil) {
+				t.Fatalf("%s: item %d kind differs", w.Name(), i)
+			}
+			if ta != nil && (ta.CPUCycles != tb.CPUCycles || ta.MemTime != tb.MemTime ||
+				ta.IOTime != tb.IOTime || ta.Type != tb.Type) {
+				t.Fatalf("%s: item %d differs between identical builds", w.Name(), i)
+			}
+		}
+	}
+}
+
+func TestSeedsChangeDraws(t *testing.T) {
+	a := Swaptions{}.Build(1, 1.0)
+	b := Swaptions{}.Build(2, 1.0)
+	same := true
+	for i := range a.Items {
+		if a.Items[i].Task != nil && b.Items[i].Task != nil &&
+			a.Items[i].Task.CPUCycles != b.Items[i].Task.CPUCycles {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical durations")
+	}
+}
+
+func TestScaleShrinksCounts(t *testing.T) {
+	for _, w := range All() {
+		full := w.Build(3, 1.0).Tasks()
+		small := w.Build(3, 0.2).Tasks()
+		if small >= full {
+			t.Fatalf("%s: scale 0.2 gave %d tasks vs %d at full", w.Name(), small, full)
+		}
+		if small == 0 {
+			t.Fatalf("%s: scale 0.2 gave empty program", w.Name())
+		}
+	}
+}
+
+func TestFluidanimateStructure(t *testing.T) {
+	p := Fluidanimate{}.Build(5, 1.0)
+	// Eight task types (the paper's maximum).
+	types := map[string]bool{}
+	for _, it := range p.Items {
+		if it.Task != nil {
+			types[it.Task.Type.Name] = true
+		}
+	}
+	if len(types) != 8 {
+		t.Fatalf("fluidanimate has %d task types, want 8", len(types))
+	}
+	// Interior tasks have up to 9 input dependences.
+	max := 0
+	for _, it := range p.Items {
+		if it.Task != nil && len(it.Task.Ins) > max {
+			max = len(it.Task.Ins)
+		}
+	}
+	if max != 9 {
+		t.Fatalf("fluidanimate max parents = %d, want 9", max)
+	}
+}
+
+func TestBodytrackDurationSpread(t *testing.T) {
+	p := Bodytrack{}.Build(5, 1.0)
+	durOf := map[string]*struct{ min, max sim.Time }{}
+	for _, it := range p.Items {
+		if it.Task == nil {
+			continue
+		}
+		d := sim.Cycles(it.Task.CPUCycles, sim.Gigahertz) + it.Task.MemTime
+		s, ok := durOf[it.Task.Type.Name]
+		if !ok {
+			s = &struct{ min, max sim.Time }{d, d}
+			durOf[it.Task.Type.Name] = s
+		}
+		if d < s.min {
+			s.min = d
+		}
+		if d > s.max {
+			s.max = d
+		}
+	}
+	edge, res := durOf["edge_detect"], durOf["resample"]
+	if edge == nil || res == nil {
+		t.Fatal("missing bodytrack types")
+	}
+	// The paper: duration varies up to an order of magnitude across types.
+	if res.min < edge.max*5 {
+		t.Fatalf("resample (%v) not ~10x edge (%v)", res.min, edge.max)
+	}
+}
+
+func TestDedupHasCriticalIOWriter(t *testing.T) {
+	p := Dedup{}.Build(5, 1.0)
+	var writes, withIO int
+	for _, it := range p.Items {
+		if it.Task != nil && it.Task.Type.Name == "write" {
+			writes++
+			if it.Task.Type.Criticality == 0 {
+				t.Fatal("dedup write not annotated critical")
+			}
+			if it.Task.IOTime > 0 {
+				withIO++
+			}
+		}
+	}
+	if writes == 0 || withIO != writes {
+		t.Fatalf("dedup writers: %d total, %d with IO", writes, withIO)
+	}
+}
+
+func TestFerretSixStages(t *testing.T) {
+	p := Ferret{}.Build(5, 1.0)
+	types := map[string]int{}
+	for _, it := range p.Items {
+		if it.Task != nil {
+			types[it.Task.Type.Name]++
+		}
+	}
+	for _, stage := range []string{"load", "segment", "extract", "vector", "rank", "out"} {
+		if types[stage] == 0 {
+			t.Fatalf("ferret missing stage %s", stage)
+		}
+	}
+	if len(types) != 6 {
+		t.Fatalf("ferret has %d stages, want 6", len(types))
+	}
+}
+
+func TestForkJoinWorkloadsHaveBarriers(t *testing.T) {
+	for _, w := range []Workload{Blackscholes{}, Swaptions{}, Fluidanimate{}} {
+		p := w.Build(1, 0.3)
+		if p.Barriers() == 0 {
+			t.Fatalf("%s has no barriers", w.Name())
+		}
+	}
+	// Pipelines are dependence-coupled, not barrier-coupled.
+	for _, w := range []Workload{Bodytrack{}, Dedup{}, Ferret{}} {
+		p := w.Build(1, 0.3)
+		if p.Barriers() != 0 {
+			t.Fatalf("%s pipeline unexpectedly uses barriers", w.Name())
+		}
+	}
+}
+
+func TestMicroBuilders(t *testing.T) {
+	fj := ForkJoin(1, 2, 8, 100*sim.Microsecond, 0.1, true)
+	if fj.Tasks() != 16 || fj.Barriers() != 2 {
+		t.Fatalf("ForkJoin: %d tasks %d barriers", fj.Tasks(), fj.Barriers())
+	}
+	ch := Chain(1, 10, 100*sim.Microsecond)
+	if ch.Tasks() != 10 {
+		t.Fatalf("Chain: %d tasks", ch.Tasks())
+	}
+	di := Diamond(1, 3, 4, 100*sim.Microsecond)
+	if di.Tasks() != 3*(1+4+1) {
+		t.Fatalf("Diamond: %d tasks", di.Tasks())
+	}
+	for _, p := range []interface{ Validate() error }{fj, ch, di} {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: every generated program validates and has positive work, for
+// any seed and scale.
+func TestGeneratorsAlwaysValid(t *testing.T) {
+	f := func(seed uint64, scalePct uint8) bool {
+		scale := float64(scalePct%100+1) / 100
+		for _, w := range All() {
+			p := w.Build(seed, scale)
+			if p.Validate() != nil {
+				return false
+			}
+			if p.TotalWork(sim.Gigahertz) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = tdg.Token(0)
+
+// durationsOf collects per-type slow-level durations of a program.
+func durationsOf(p *program.Program) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, it := range p.Items {
+		if it.Task == nil {
+			continue
+		}
+		d := float64(sim.Cycles(it.Task.CPUCycles, sim.Gigahertz) + it.Task.MemTime)
+		out[it.Task.Type.Name] = append(out[it.Task.Type.Name], d)
+	}
+	return out
+}
+
+func cv(vs []float64) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	mean := sum / float64(len(vs))
+	var sq float64
+	for _, v := range vs {
+		sq += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(sq/float64(len(vs))) / mean
+}
+
+// TestImbalanceOrdering: swaptions (lognormal, heavy imbalance) must have
+// a far larger duration spread than blackscholes (uniform, low
+// imbalance) — the property Figure 4's fork-join analysis rests on.
+func TestImbalanceOrdering(t *testing.T) {
+	bs := durationsOf(Blackscholes{}.Build(42, 1.0))["bs_chunk"]
+	sw := durationsOf(Swaptions{}.Build(42, 1.0))["sw_sim"]
+	cvBS, cvSW := cv(bs), cv(sw)
+	if cvBS > 0.10 {
+		t.Fatalf("blackscholes CV = %.3f, want low imbalance (< 0.10)", cvBS)
+	}
+	if cvSW < 0.35 {
+		t.Fatalf("swaptions CV = %.3f, want heavy imbalance (> 0.35)", cvSW)
+	}
+	if cvSW < 3*cvBS {
+		t.Fatalf("imbalance ordering broken: swaptions %.3f vs blackscholes %.3f", cvSW, cvBS)
+	}
+}
+
+// TestTaskGranularityBand: every benchmark's mean task duration sits in
+// the multi-hundred-µs to multi-ms band the reconfiguration-overhead
+// calibration assumes (§V-C: overhead 0.03–3.49%).
+func TestTaskGranularityBand(t *testing.T) {
+	for _, w := range All() {
+		var sum float64
+		var n int
+		for _, vs := range durationsOf(w.Build(42, 1.0)) {
+			for _, v := range vs {
+				sum += v
+				n++
+			}
+		}
+		mean := sim.Time(sum / float64(n))
+		if mean < 300*sim.Microsecond || mean > 5*sim.Millisecond {
+			t.Fatalf("%s: mean task duration %v outside calibration band", w.Name(), mean)
+		}
+	}
+}
+
+// TestFluidHeavyPhasesDominate: the three compute sub-phases must be
+// clearly heavier than the bookkeeping ones.
+func TestFluidHeavyPhasesDominate(t *testing.T) {
+	durs := durationsOf(Fluidanimate{}.Build(42, 1.0))
+	heavyMean := stats.Mean(durs["compute_forces"])
+	lightMean := stats.Mean(durs["rebuild_grid"])
+	if heavyMean < 1.5*lightMean {
+		t.Fatalf("heavy/light ratio %.2f too small", heavyMean/lightMean)
+	}
+}
+
+// TestCriticalityAnnotationCoverage: the annotation scheme matches the
+// paper's description — pipelines have mixed annotations, fork-join and
+// stencil types are uniform.
+func TestCriticalityAnnotationCoverage(t *testing.T) {
+	mixed := map[string]bool{"bodytrack": true, "dedup": true, "ferret": true}
+	for _, w := range All() {
+		levels := map[int]bool{}
+		for _, it := range w.Build(42, 0.3).Items {
+			if it.Task != nil {
+				levels[it.Task.Type.Criticality] = true
+			}
+		}
+		if mixed[w.Name()] && len(levels) < 2 {
+			t.Fatalf("%s: pipeline should mix criticality levels", w.Name())
+		}
+		if !mixed[w.Name()] && len(levels) != 1 {
+			t.Fatalf("%s: fork-join/stencil should have uniform annotations, got %v",
+				w.Name(), levels)
+		}
+	}
+}

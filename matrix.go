@@ -1,0 +1,128 @@
+package cata
+
+import (
+	"io"
+
+	"cata/internal/exp"
+)
+
+// MatrixConfig parameterizes a full evaluation matrix over benchmarks,
+// policies and fast-core counts, normalized to the FIFO baseline.
+type MatrixConfig struct {
+	// Policies to evaluate (FIFO is always run as the baseline).
+	Policies []Policy
+	// FastCores values to sweep (default {8, 16, 24}).
+	FastCores []int
+	// Workloads to run (default: all six benchmarks).
+	Workloads []string
+	// Cores is the machine size (default 32).
+	Cores int
+	// Seeds are run per cell and averaged (default {42, 1337, 2024}).
+	Seeds []uint64
+	// Scale shrinks task counts for quick runs (default 1.0).
+	Scale float64
+}
+
+// Matrix is an evaluated matrix: per-cell speedups and normalized EDP
+// against FIFO — the data behind the paper's Figures 4 and 5.
+type Matrix struct {
+	inner *exp.Matrix
+}
+
+// RunMatrix executes the matrix in parallel across CPUs.
+func RunMatrix(cfg MatrixConfig) (*Matrix, error) {
+	policies := make([]exp.Policy, len(cfg.Policies))
+	for i, p := range cfg.Policies {
+		policies[i] = p.internal()
+	}
+	inner, err := exp.RunMatrix(exp.MatrixSpec{
+		Policies:  policies,
+		FastCores: cfg.FastCores,
+		Workloads: cfg.Workloads,
+		Cores:     cfg.Cores,
+		Seeds:     cfg.Seeds,
+		Scale:     cfg.Scale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{inner}, nil
+}
+
+// Speedup returns T_FIFO / T_policy for one cell (seed-averaged).
+func (m *Matrix) Speedup(workload string, p Policy, fastCores int) float64 {
+	return m.inner.Speedup(workload, p.internal(), fastCores)
+}
+
+// NormEDP returns EDP_policy / EDP_FIFO for one cell; below 1 is better.
+func (m *Matrix) NormEDP(workload string, p Policy, fastCores int) float64 {
+	return m.inner.NormEDP(workload, p.internal(), fastCores)
+}
+
+// AvgSpeedup returns the geometric-mean speedup across all workloads.
+func (m *Matrix) AvgSpeedup(p Policy, fastCores int) float64 {
+	return m.inner.AvgSpeedup(p.internal(), fastCores)
+}
+
+// AvgNormEDP returns the geometric-mean normalized EDP across workloads.
+func (m *Matrix) AvgNormEDP(p Policy, fastCores int) float64 {
+	return m.inner.AvgNormEDP(p.internal(), fastCores)
+}
+
+// SpeedupTable renders the speedup table in the layout of the paper's
+// figures (rows: benchmarks + average; columns: policy × fast cores).
+func (m *Matrix) SpeedupTable() string { return m.inner.Table("speedup") }
+
+// WriteCSV emits the matrix as long-form CSV: one row per cell with
+// normalized metrics and the raw first-seed measurement.
+func (m *Matrix) WriteCSV(w io.Writer) error { return m.inner.WriteCSV(w) }
+
+// EDPTable renders the normalized-EDP table.
+func (m *Matrix) EDPTable() string { return m.inner.Table("edp") }
+
+// Claim is one of the paper's quantitative statements checked against
+// this matrix (see EXPERIMENTS.md).
+type Claim struct {
+	ID        string
+	Statement string
+	Paper     string
+	Measured  string
+	Holds     bool
+}
+
+// Claims evaluates the paper's headline §V claims against the matrix.
+// The matrix must include all six policies.
+func (m *Matrix) Claims() []Claim {
+	inner := exp.Claims(m.inner)
+	out := make([]Claim, len(inner))
+	for i, c := range inner {
+		out[i] = Claim{c.ID, c.Statement, c.Paper, c.Measured, c.Holds}
+	}
+	return out
+}
+
+// ClaimsTable renders claim-check results.
+func ClaimsTable(cs []Claim) string {
+	inner := make([]exp.Claim, len(cs))
+	for i, c := range cs {
+		inner[i] = exp.Claim{ID: c.ID, Statement: c.Statement, Paper: c.Paper, Measured: c.Measured, Holds: c.Holds}
+	}
+	return exp.ClaimsTable(inner)
+}
+
+// VCAnalysisTable runs software CATA on every benchmark and renders the
+// §V-C reconfiguration-cost analysis (latencies, worst-case lock waits,
+// overhead percentage).
+func VCAnalysisTable(fastCores int, seed uint64, scale float64) (string, error) {
+	rows, err := exp.VCAnalysis(fastCores, seed, scale)
+	if err != nil {
+		return "", err
+	}
+	return exp.VCTable(rows), nil
+}
+
+// RSUCostTable renders the §III-B.4 RSU storage/area/power model.
+func RSUCostTable() string { return exp.RSUCostTable() }
+
+// TableI renders the simulated processor configuration (paper Table I).
+func TableI() string { return exp.TableI() }
