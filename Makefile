@@ -1,0 +1,34 @@
+# CI and humans invoke the same targets (see .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test bench vet fmt fmt-check smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+# Exercises the catasweep binary path end to end at a tiny scale.
+smoke:
+	$(GO) test -run TestSweep -count=1 ./cmd/catasweep
+
+ci: fmt-check build vet test smoke

@@ -1,0 +1,73 @@
+package cata
+
+import (
+	"context"
+	"io"
+
+	"cata/internal/exp"
+)
+
+// BatchOptions configure a batch of simulations (RunBatch) or a matrix
+// evaluation (MatrixConfig.Batch).
+type BatchOptions struct {
+	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
+	Parallelism int
+	// CachePath, when non-empty, persists every completed result to a
+	// JSONL file keyed by a content hash of the run's configuration.
+	// An interrupted batch re-invoked with Resume set skips the runs
+	// already in the cache.
+	CachePath string
+	// Resume serves runs already present in the cache instead of
+	// re-simulating them.
+	Resume bool
+	// Progress, when non-nil, receives one status line per completed
+	// run: done/total, an ETA, and the live best-EDP configuration.
+	Progress io.Writer
+}
+
+func (o BatchOptions) internal() exp.SweepOptions {
+	return exp.SweepOptions{
+		Parallelism: o.Parallelism,
+		CachePath:   o.CachePath,
+		Resume:      o.Resume,
+		Progress:    o.Progress,
+	}
+}
+
+// BatchResult is the outcome of one configuration in a batch: either a
+// result or that run's own error. A failing run never aborts the batch.
+type BatchResult struct {
+	Config RunConfig
+	Result Result
+	Err    error
+	// Cached reports that the result was served from the cache.
+	Cached bool
+}
+
+// RunBatch executes configurations in parallel through the sweep engine
+// and returns one BatchResult per config, in input order — identical to
+// running them sequentially through Run.
+//
+// Canceling ctx stops dispatching new runs, waits for in-flight ones
+// (persisting them when a cache is configured), and returns the partial
+// results together with ctx.Err(). Configs carrying a custom Program or
+// trace/timeline writers run normally but are never cached.
+func RunBatch(ctx context.Context, cfgs []RunConfig, opts BatchOptions) ([]BatchResult, error) {
+	specs := make([]exp.RunSpec, len(cfgs))
+	for i, cfg := range cfgs {
+		s, err := cfg.spec()
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = s
+	}
+	rs, err := exp.Sweep(ctx, specs, opts.internal())
+	out := make([]BatchResult, len(rs))
+	for i, r := range rs {
+		out[i] = BatchResult{Config: cfgs[i], Err: r.Err, Cached: r.Cached}
+		if r.Err == nil {
+			out[i].Result = toResult(r.Measurement)
+		}
+	}
+	return out, err
+}

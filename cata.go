@@ -211,8 +211,8 @@ func toResult(m exp.Measurement) Result {
 	}
 }
 
-// Run executes one simulation.
-func Run(cfg RunConfig) (Result, error) {
+// spec lowers the public config to the experiment harness's RunSpec.
+func (cfg RunConfig) spec() (exp.RunSpec, error) {
 	spec := exp.RunSpec{
 		Workload:          cfg.Workload,
 		Policy:            cfg.Policy.internal(),
@@ -226,9 +226,18 @@ func Run(cfg RunConfig) (Result, error) {
 	}
 	if cfg.Program != nil {
 		if err := cfg.Program.Err(); err != nil {
-			return Result{}, err
+			return exp.RunSpec{}, err
 		}
 		spec.Program = cfg.Program.build()
+	}
+	return spec, nil
+}
+
+// Run executes one simulation.
+func Run(cfg RunConfig) (Result, error) {
+	spec, err := cfg.spec()
+	if err != nil {
+		return Result{}, err
 	}
 	m, err := exp.Run(spec)
 	if err != nil {

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"cata"
 )
@@ -75,10 +78,36 @@ func main() {
 		traceFile = f
 		cfg.TraceTo = f
 	}
-	res, err := cata.Run(cfg)
-	if err != nil {
-		fatal(err)
+	// Run through the batch engine: the optional FIFO baseline executes
+	// in parallel with the measured run. A first Ctrl-C stops dispatch
+	// (in-flight simulations drain — completed results still print); a
+	// second one kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	cfgs := []cata.RunConfig{cfg}
+	if *baseline && pol != cata.PolicyFIFO {
+		base := cfg
+		base.Policy = cata.PolicyFIFO
+		base.TraceTo = nil
+		base.TimelineTo = nil
+		cfgs = append(cfgs, base)
 	}
+	batch, err := cata.RunBatch(ctx, cfgs, cata.BatchOptions{})
+	// A canceled batch may still hold a finished measured run — print
+	// whatever completed instead of discarding it. A failing baseline
+	// must not suppress the measured run's output either; its error is
+	// reported after the stats print below.
+	if len(batch) == 0 || batch[0].Err != nil {
+		if err != nil {
+			fatal(err)
+		}
+		fatal(batch[0].Err)
+	}
+	res := batch[0].Result
 	if traceFile != nil {
 		if err := traceFile.Close(); err != nil {
 			fatal(err)
@@ -107,11 +136,10 @@ func main() {
 	}
 
 	if *baseline && pol != cata.PolicyFIFO {
-		cfg.Policy = cata.PolicyFIFO
-		base, err := cata.Run(cfg)
-		if err != nil {
-			fatal(err)
+		if err := batch[1].Err; err != nil {
+			fatal(fmt.Errorf("FIFO baseline: %w", err))
 		}
+		base := batch[1].Result
 		fmt.Printf("  vs FIFO               speedup %.3f, normalized EDP %.3f\n",
 			float64(base.Makespan)/float64(res.Makespan), res.EDP/base.EDP)
 	}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cata"
+)
+
+// TestSweepSmoke exercises the full catasweep path — plan building,
+// batch execution, table rendering — at a tiny scale.
+func TestSweepSmoke(t *testing.T) {
+	p, err := buildPlan("seeds", "swaptions", 8, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := cata.RunBatch(context.Background(), p.configs, cata.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if errs := p.render(&out, results); len(errs) > 0 {
+		t.Fatalf("render errors: %v", errs)
+	}
+	got := out.String()
+	if !strings.Contains(got, "seed sensitivity on swaptions") {
+		t.Fatalf("missing header:\n%s", got)
+	}
+	if lines := strings.Count(got, "\n"); lines != 7 { // title + header + 5 rows
+		t.Fatalf("got %d lines, want 7:\n%s", lines, got)
+	}
+	if strings.Contains(got, "err") {
+		t.Fatalf("cells failed:\n%s", got)
+	}
+}
+
+// TestSweepPlanDedupesBaselines: every policy in a row normalizes
+// against one shared FIFO run, so the engine never runs a config twice.
+func TestSweepPlanDedupesBaselines(t *testing.T) {
+	p, err := buildPlan("latency", "swaptions", 16, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 latencies × {CATA, CATA+RSU} plus a single shared FIFO baseline
+	// (the baseline resets TransitionLatency, so all rows share it).
+	if got, want := len(p.configs), 11; got != want {
+		t.Fatalf("plan has %d configs, want %d", got, want)
+	}
+}
+
+// TestSweepResume: a cache written by one sweep lets an identical sweep
+// skip every simulation and render byte-identical output.
+func TestSweepResume(t *testing.T) {
+	cachePath := filepath.Join(t.TempDir(), "sweep.jsonl")
+	p, err := buildPlan("seeds", "swaptions", 8, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := cata.RunBatch(context.Background(), p.configs,
+		cata.BatchOptions{CachePath: cachePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out1 strings.Builder
+	if errs := p.render(&out1, first); len(errs) > 0 {
+		t.Fatalf("render errors: %v", errs)
+	}
+
+	second, err := cata.RunBatch(context.Background(), p.configs,
+		cata.BatchOptions{CachePath: cachePath, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range second {
+		if !r.Cached {
+			t.Errorf("config %d (%s/%v) re-ran despite -resume", i, r.Config.Workload, r.Config.Policy)
+		}
+	}
+	var out2 strings.Builder
+	if errs := p.render(&out2, second); len(errs) > 0 {
+		t.Fatalf("render errors: %v", errs)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("resumed output differs:\nfirst:\n%s\nresumed:\n%s", out1.String(), out2.String())
+	}
+}
+
+// TestSweepUnknownName: bad sweep names fail plan building.
+func TestSweepUnknownName(t *testing.T) {
+	if _, err := buildPlan("nope", "swaptions", 8, 1.0); err == nil {
+		t.Fatal("want error for unknown sweep")
+	}
+}

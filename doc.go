@@ -32,5 +32,13 @@
 //	fmt.Println(m.SpeedupTable())
 //	fmt.Println(m.EDPTable())
 //
+// Large cross-products run through the batch sweep engine
+// (internal/batch), reachable as RunBatch and RunMatrixContext: a
+// bounded worker pool with context cancellation, per-run error
+// isolation, streaming progress, and a content-addressed JSONL result
+// cache so an interrupted sweep resumed with BatchOptions.Resume skips
+// every completed run. Results are always returned in spec order,
+// identical to a sequential execution.
+//
 // Custom task graphs are built with NewProgram; see examples/customworkload.
 package cata

@@ -1,0 +1,3 @@
+module cata
+
+go 1.24

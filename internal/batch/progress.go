@@ -1,0 +1,84 @@
+package batch
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// progress streams one status line per completed run: counts, percent,
+// elapsed wall time, a naive ETA extrapolated from the mean run time so
+// far, and the caller's note (e.g. the live best-EDP). All methods are
+// called from the collector goroutine only.
+type progress struct {
+	w      io.Writer
+	total  int
+	done   int
+	cached int // served from cache; excluded from the pace estimate
+	errs   int
+	start  time.Time
+	now    func() time.Time // test hook
+}
+
+func newProgress(w io.Writer, total int) *progress {
+	p := &progress{w: w, total: total, now: time.Now}
+	p.start = p.now()
+	return p
+}
+
+// resumed reports cache hits counted as already done.
+func (p *progress) resumed(n int) {
+	p.done += n
+	p.cached += n
+	if p.w == nil || n == 0 {
+		return
+	}
+	fmt.Fprintf(p.w, "batch: resume: %d/%d already cached\n", n, p.total)
+}
+
+// completed records one finished run and emits its status line.
+func (p *progress) completed(index int, spec any, elapsed time.Duration, err error, note string) {
+	p.done++
+	if err != nil {
+		p.errs++
+	}
+	if p.w == nil {
+		return
+	}
+	line := fmt.Sprintf("batch: %d/%d (%d%%) %v", p.done, p.total, p.percent(), spec)
+	if elapsed > 0 {
+		line += fmt.Sprintf(" %v", elapsed.Round(time.Millisecond))
+	}
+	if err != nil {
+		line += fmt.Sprintf(" FAILED: %v", err)
+	}
+	if eta, ok := p.eta(); ok {
+		line += fmt.Sprintf(" | eta %v", eta.Round(100*time.Millisecond))
+	}
+	if note != "" {
+		line += " | " + note
+	}
+	if p.errs > 0 {
+		line += fmt.Sprintf(" | %d failed", p.errs)
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+func (p *progress) percent() int {
+	if p.total == 0 {
+		return 100
+	}
+	return 100 * p.done / p.total
+}
+
+// eta extrapolates the remaining wall time from the mean pace of the
+// runs actually executed this session — cache hits are instant and
+// would otherwise make a resumed sweep's ETA wildly optimistic.
+func (p *progress) eta() (time.Duration, bool) {
+	ran := p.done - p.cached
+	if ran <= 0 || p.done >= p.total {
+		return 0, false
+	}
+	elapsed := p.now().Sub(p.start)
+	return time.Duration(float64(elapsed) / float64(ran) * float64(p.total-p.done)), true
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -60,6 +61,18 @@ func defaultWorkloads() []string {
 // RunMatrix executes the matrix (FIFO baselines are added automatically)
 // in parallel and assembles normalized results.
 func RunMatrix(spec MatrixSpec) (*Matrix, error) {
+	return RunMatrixSweep(context.Background(), spec, SweepOptions{})
+}
+
+// RunMatrixSweep executes the matrix through the batch engine with
+// cancellation, caching, and progress. A normalized matrix needs every
+// cell, so any per-spec failure (or cancellation) aborts assembly — but
+// with a cache configured, completed cells persist and a resumed call
+// picks up where the interrupted one stopped. When every cell succeeded
+// and only writing to the cache failed, the completed matrix is
+// returned together with the cache error; callers decide whether a
+// stale cache matters to them.
+func RunMatrixSweep(ctx context.Context, spec MatrixSpec, opts SweepOptions) (*Matrix, error) {
 	spec = spec.withDefaults()
 	policies := spec.Policies
 	hasFIFO := false
@@ -86,9 +99,17 @@ func RunMatrix(spec MatrixSpec) (*Matrix, error) {
 			}
 		}
 	}
-	ms, err := RunAll(specs)
+	rs, sweepErr := Sweep(ctx, specs, opts)
+	if sweepErr != nil && len(rs) != len(specs) {
+		// Nothing ran (e.g. cache open failure). Cancellation and
+		// per-cell failures surface through measurements below; a
+		// pure cache write error leaves full, healthy results and
+		// rides along with the finished matrix.
+		return nil, sweepErr
+	}
+	ms, err := measurements(rs)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: matrix: %w", err)
 	}
 
 	m := &Matrix{
@@ -102,7 +123,7 @@ func RunMatrix(spec MatrixSpec) (*Matrix, error) {
 		k := cellKey{meas.Spec.Workload, meas.Spec.Policy, meas.Spec.FastCores}
 		m.cells[k] = append(m.cells[k], meas)
 	}
-	return m, nil
+	return m, sweepErr
 }
 
 // Cells returns the per-seed measurements for (workload, policy, fast).

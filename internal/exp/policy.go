@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"cata/internal/cpufreq"
@@ -84,6 +85,27 @@ func (p Policy) String() string {
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
+}
+
+// MarshalJSON encodes the policy as its paper label, keeping cache keys
+// and persisted sweep results readable and stable even if the enum
+// values are ever reordered.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON decodes a paper label.
+func (p *Policy) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParsePolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
 }
 
 // ParsePolicy converts a paper label (case-sensitive, as printed by

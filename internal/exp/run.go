@@ -1,10 +1,10 @@
 package exp
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
 	"cata/internal/energy"
 	"cata/internal/program"
@@ -66,6 +66,54 @@ func (s RunSpec) withDefaults() RunSpec {
 
 func (s RunSpec) String() string {
 	return fmt.Sprintf("%s/%v/fast=%d", s.Workload, s.Policy, s.FastCores)
+}
+
+// runSpecJSON is the JSON-portable subset of RunSpec: everything except
+// the in-memory Program and the Trace/Timeline writers, which cannot
+// round-trip through a result cache. Specs carrying those fields are
+// never cached (see cacheKey).
+type runSpecJSON struct {
+	Workload          string   `json:"workload,omitempty"`
+	Policy            Policy   `json:"policy"`
+	FastCores         int      `json:"fast_cores"`
+	Cores             int      `json:"cores"`
+	Seed              uint64   `json:"seed"`
+	Scale             float64  `json:"scale"`
+	MaxSimTime        sim.Time `json:"max_sim_time"`
+	TransitionLatency sim.Time `json:"transition_latency,omitempty"`
+}
+
+// MarshalJSON encodes the portable fields of the spec.
+func (s RunSpec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(runSpecJSON{
+		Workload:          s.Workload,
+		Policy:            s.Policy,
+		FastCores:         s.FastCores,
+		Cores:             s.Cores,
+		Seed:              s.Seed,
+		Scale:             s.Scale,
+		MaxSimTime:        s.MaxSimTime,
+		TransitionLatency: s.TransitionLatency,
+	})
+}
+
+// UnmarshalJSON decodes the portable fields of the spec.
+func (s *RunSpec) UnmarshalJSON(b []byte) error {
+	var j runSpecJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*s = RunSpec{
+		Workload:          j.Workload,
+		Policy:            j.Policy,
+		FastCores:         j.FastCores,
+		Cores:             j.Cores,
+		Seed:              j.Seed,
+		Scale:             j.Scale,
+		MaxSimTime:        j.MaxSimTime,
+		TransitionLatency: j.TransitionLatency,
+	}
+	return nil
 }
 
 // Measurement is the harvested result of one run.
@@ -185,27 +233,28 @@ func schedStats(r *rig) *sched.Stats {
 }
 
 // RunAll executes specs in parallel (bounded by GOMAXPROCS) and returns
-// measurements in spec order. The first error aborts the batch.
+// measurements in spec order. The first error (in spec order) aborts the
+// batch. It is a compatibility wrapper over Sweep; callers that want
+// cancellation, caching, progress, or per-spec error isolation should
+// use Sweep directly.
 func RunAll(specs []RunSpec) ([]Measurement, error) {
-	ms := make([]Measurement, len(specs))
-	errs := make([]error, len(specs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, spec := range specs {
-		i, spec := i, spec
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			ms[i], errs[i] = Run(spec)
-		}()
+	rs, err := Sweep(context.Background(), specs, SweepOptions{})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	return measurements(rs)
+}
+
+// measurements converts sweep results to plain measurements, failing
+// fast on the first per-spec error in spec order. (Run already names
+// the failing spec in its errors, so none is added here.)
+func measurements(rs []RunResult) ([]Measurement, error) {
+	ms := make([]Measurement, len(rs))
+	for i, r := range rs {
+		if r.Err != nil {
+			return nil, r.Err
 		}
+		ms[i] = r.Measurement
 	}
 	return ms, nil
 }

@@ -1,6 +1,7 @@
 package cata
 
 import (
+	"context"
 	"io"
 
 	"cata/internal/exp"
@@ -21,6 +22,9 @@ type MatrixConfig struct {
 	Seeds []uint64
 	// Scale shrinks task counts for quick runs (default 1.0).
 	Scale float64
+	// Batch configures the sweep engine that executes the matrix:
+	// parallelism, result caching and resume, and progress streaming.
+	Batch BatchOptions
 }
 
 // Matrix is an evaluated matrix: per-cell speedups and normalized EDP
@@ -31,22 +35,34 @@ type Matrix struct {
 
 // RunMatrix executes the matrix in parallel across CPUs.
 func RunMatrix(cfg MatrixConfig) (*Matrix, error) {
+	return RunMatrixContext(context.Background(), cfg)
+}
+
+// RunMatrixContext executes the matrix through the sweep engine with
+// cancellation and the batch options in cfg.Batch. A normalized matrix
+// needs every cell, so cancellation or a failing cell aborts assembly;
+// with a cache configured, completed cells persist and a resumed call
+// finishes the remainder without re-running them. When every cell
+// succeeded and only writing to the cache failed, the completed matrix
+// is returned together with the error — don't throw the results away
+// just because the cache is stale.
+func RunMatrixContext(ctx context.Context, cfg MatrixConfig) (*Matrix, error) {
 	policies := make([]exp.Policy, len(cfg.Policies))
 	for i, p := range cfg.Policies {
 		policies[i] = p.internal()
 	}
-	inner, err := exp.RunMatrix(exp.MatrixSpec{
+	inner, err := exp.RunMatrixSweep(ctx, exp.MatrixSpec{
 		Policies:  policies,
 		FastCores: cfg.FastCores,
 		Workloads: cfg.Workloads,
 		Cores:     cfg.Cores,
 		Seeds:     cfg.Seeds,
 		Scale:     cfg.Scale,
-	})
-	if err != nil {
+	}, cfg.Batch.internal())
+	if inner == nil {
 		return nil, err
 	}
-	return &Matrix{inner}, nil
+	return &Matrix{inner}, err
 }
 
 // Speedup returns T_FIFO / T_policy for one cell (seed-averaged).
