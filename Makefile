@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt fmt-check smoke ci
+.PHONY: all build test bench vet fmt fmt-check smoke docs-check ci
 
 all: build
 
@@ -31,4 +31,9 @@ fmt-check:
 smoke:
 	$(GO) test -run TestSweep -count=1 ./cmd/catasweep
 
-ci: fmt-check build vet test smoke
+# Fails on broken relative markdown links and on exported identifiers
+# missing doc comments (see internal/tools/docscheck).
+docs-check:
+	$(GO) run ./internal/tools/docscheck
+
+ci: fmt-check build vet test smoke docs-check

@@ -101,6 +101,9 @@ func BenchmarkClaims(b *testing.B) {
 // the per-application series both figures are built from.
 func BenchmarkWorkload(b *testing.B) {
 	for _, w := range cata.Workloads() {
+		if w.FileBacked {
+			continue // needs a file parameter; nothing to benchmark
+		}
 		b.Run(w.Name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {

@@ -42,13 +42,61 @@ const (
 )
 
 // AllPolicies returns every paper-evaluated policy in evaluation order
-// (the halt-aware extension is listed by ExtensionPolicies).
-func AllPolicies() []Policy {
-	return []Policy{PolicyFIFO, PolicyCATSBL, PolicyCATSSA, PolicyCATA, PolicyCATARSU, PolicyTurboMode}
-}
+// (the extensions are listed by ExtensionPolicies).
+func AllPolicies() []Policy { return fromInternalAll(exp.AllPolicies()) }
 
 // ExtensionPolicies returns the beyond-the-paper configurations.
-func ExtensionPolicies() []Policy { return []Policy{PolicyCATARSUHA, PolicyCATA3L} }
+func ExtensionPolicies() []Policy { return fromInternalAll(exp.ExtensionPolicies()) }
+
+func fromInternalAll(ips []exp.Policy) []Policy {
+	ps := make([]Policy, len(ips))
+	for i, ip := range ips {
+		ps[i] = fromInternal(ip)
+	}
+	return ps
+}
+
+// PolicyInfo documents one policy: its label, a one-line summary, and
+// whether it goes beyond the paper. The list returned by PolicyDocs is
+// the single source of truth behind every policy list in this module —
+// CLI help strings and the README table derive from it.
+type PolicyInfo struct {
+	// Policy is the value itself.
+	Policy Policy
+	// Label is the paper's name, as parsed by ParsePolicy.
+	Label string
+	// Extension marks beyond-the-paper configurations.
+	Extension bool
+	// Summary is a one-line description.
+	Summary string
+}
+
+// PolicyDocs returns documentation for all eight policies: the paper's
+// six in evaluation order, then the two extensions.
+func PolicyDocs() []PolicyInfo {
+	ds := exp.PolicyDocs()
+	infos := make([]PolicyInfo, len(ds))
+	for i, d := range ds {
+		infos[i] = PolicyInfo{
+			Policy:    fromInternal(d.Policy),
+			Label:     d.Label,
+			Extension: d.Extension,
+			Summary:   d.Summary,
+		}
+	}
+	return infos
+}
+
+// PolicyLabels returns the labels of all eight policies, the accepted
+// inputs of ParsePolicy. CLI -policy help strings are built from it.
+func PolicyLabels() []string {
+	ds := exp.PolicyDocs()
+	labels := make([]string, len(ds))
+	for i, d := range ds {
+		labels[i] = d.Label
+	}
+	return labels
+}
 
 // Fig4Policies returns the software-only configurations of Figure 4.
 func Fig4Policies() []Policy {
@@ -121,8 +169,11 @@ func fromInternal(p exp.Policy) Policy {
 
 // RunConfig describes one simulation.
 type RunConfig struct {
-	// Workload names a built-in benchmark (see Workloads). Ignored when
-	// Program is set.
+	// Workload is a workload spec: the name of a registered workload,
+	// optionally followed by parameters — "dedup",
+	// "layered:seed=7,width=16,depth=32", "trace:file=capture.json".
+	// See Workloads for the registry and each entry's parameters.
+	// Ignored when Program is set.
 	Workload string
 	// Program, when non-nil, runs a custom task graph built with
 	// NewProgram.
@@ -246,25 +297,56 @@ func Run(cfg RunConfig) (Result, error) {
 	return toResult(m), nil
 }
 
-// WorkloadInfo describes a built-in benchmark.
-type WorkloadInfo struct {
-	Name        string
-	Description string
-	// Tasks is the task count at full scale (seed 42).
-	Tasks int
+// WorkloadParam documents one parameter of a registered workload, as
+// written in a workload spec ("name:key=val,...").
+type WorkloadParam struct {
+	// Key is the parameter name.
+	Key string
+	// Default describes the value used when the key is absent.
+	Default string
+	// Help is a one-line description.
+	Help string
 }
 
-// Workloads lists the six built-in PARSECSs-like benchmarks in the
-// paper's order.
+// WorkloadInfo describes a registered workload.
+type WorkloadInfo struct {
+	// Name is the spec name.
+	Name string
+	// Description is a one-line summary of the workload's structure.
+	Description string
+	// Tasks is the task count at full scale with default parameters and
+	// seed 42; zero for file-backed workloads, which cannot be built
+	// without a file parameter.
+	Tasks int
+	// Params documents the entry's parameters (beyond the reserved
+	// seed and scale, which every workload accepts).
+	Params []WorkloadParam
+	// FileBacked marks workloads that load their task graph from an
+	// external file and therefore require a file=PATH parameter.
+	FileBacked bool
+}
+
+// Workloads lists the workload registry: the six PARSECSs-like paper
+// benchmarks in the paper's order, then the synthetic DAG generators and
+// the trace importers.
 func Workloads() []WorkloadInfo {
-	ws := workloads.All()
-	infos := make([]WorkloadInfo, len(ws))
-	for i, w := range ws {
-		infos[i] = WorkloadInfo{
-			Name:        w.Name(),
-			Description: w.Description(),
-			Tasks:       w.Build(42, 1.0).Tasks(),
+	es := workloads.List()
+	infos := make([]WorkloadInfo, len(es))
+	for i, e := range es {
+		info := WorkloadInfo{
+			Name:        e.Name,
+			Description: e.Description,
+			FileBacked:  e.FileBacked,
 		}
+		for _, p := range e.Params {
+			info.Params = append(info.Params, WorkloadParam{Key: p.Key, Default: p.Default, Help: p.Help})
+		}
+		if !e.FileBacked {
+			if prog, err := workloads.Build(e.Name, 42, 1.0); err == nil {
+				info.Tasks = prog.Tasks()
+			}
+		}
+		infos[i] = info
 	}
 	return infos
 }

@@ -27,15 +27,29 @@ func TestPolicyGroups(t *testing.T) {
 
 func TestWorkloadsList(t *testing.T) {
 	ws := Workloads()
-	if len(ws) != 6 {
-		t.Fatalf("Workloads = %d, want 6", len(ws))
+	// Six paper benchmarks, five synthetic shapes, two trace importers.
+	if len(ws) != 13 {
+		t.Fatalf("Workloads = %d, want 13", len(ws))
 	}
 	if ws[0].Name != "blackscholes" || ws[5].Name != "ferret" {
-		t.Fatal("workload order wrong")
+		t.Fatal("paper benchmarks must come first, in paper order")
 	}
 	for _, w := range ws {
-		if w.Tasks < 100 || w.Description == "" {
-			t.Fatalf("workload %s underspecified: %+v", w.Name, w)
+		if w.Description == "" {
+			t.Fatalf("workload %s has no description", w.Name)
+		}
+		switch {
+		case w.FileBacked:
+			if w.Tasks != 0 {
+				t.Fatalf("file-backed workload %s reports %d tasks", w.Name, w.Tasks)
+			}
+			if len(w.Params) == 0 {
+				t.Fatalf("file-backed workload %s documents no parameters", w.Name)
+			}
+		default:
+			if w.Tasks < 100 {
+				t.Fatalf("workload %s underspecified: %+v", w.Name, w)
+			}
 		}
 	}
 }

@@ -2,10 +2,16 @@
 // with a fast-core budget, printing the measured execution time, energy,
 // EDP and reconfiguration statistics.
 //
+// Workloads are specs resolved against the registry: a bare name or a
+// parameterized form ("name:key=val,..."). -list prints every registered
+// workload with its parameters.
+//
 // Examples:
 //
 //	catasim -workload dedup -policy CATA -fast 16
-//	catasim -workload fluidanimate -policy CATA+RSU -fast 24 -seed 7
+//	catasim -workload 'layered:seed=7,width=16,depth=32' -policy CATA+RSU -fast 24
+//	catasim -workload swaptions -export swaptions.json
+//	catasim -workload trace:file=swaptions.json -policy CATA -fast 16
 //	catasim -list
 package main
 
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"cata"
@@ -22,39 +29,56 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "swaptions", "benchmark name (see -list)")
-		policy   = flag.String("policy", "CATA", "FIFO | CATS+BL | CATS+SA | CATA | CATA+RSU | TurboMode")
+		workload = flag.String("workload", "swaptions", "workload spec, name[:key=val,...] (see -list)")
+		policy   = flag.String("policy", "CATA", strings.Join(cata.PolicyLabels(), " | "))
 		fast     = flag.Int("fast", 16, "power budget (fast cores)")
 		cores    = flag.Int("cores", 32, "machine size")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		scale    = flag.Float64("scale", 1.0, "workload scale in (0,1]")
-		list     = flag.Bool("list", false, "list built-in workloads and exit")
+		list     = flag.Bool("list", false, "list registered workloads and their parameters, then exit")
 		baseline = flag.Bool("baseline", false, "also run FIFO and report speedup / normalized EDP")
 		traceOut = flag.String("trace", "", "write a Chrome trace JSON of the run to this file")
 		dotOut   = flag.String("dot", "", "write the workload's TDG as Graphviz DOT to this file and exit")
+		export   = flag.String("export", "", "write the workload as a replayable JSON trace to this file and exit")
 		timeline = flag.Bool("timeline", false, "print a per-core ASCII Gantt chart of the run")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, w := range cata.Workloads() {
-			fmt.Printf("%-14s %5d tasks  %s\n", w.Name, w.Tasks, w.Description)
+			tasks := fmt.Sprintf("%5d tasks", w.Tasks)
+			if w.FileBacked {
+				tasks = "  file-backed"
+			}
+			fmt.Printf("%-14s %s  %s\n", w.Name, tasks, w.Description)
+			for _, p := range w.Params {
+				fmt.Printf("%-14s     %-10s %s (default %s)\n", "", p.Key, p.Help, p.Default)
+			}
 		}
 		return
 	}
 
-	if *dotOut != "" {
-		f, err := os.Create(*dotOut)
+	if *dotOut != "" && *export != "" {
+		fatal(fmt.Errorf("-dot and -export are exclusive; run twice to write both"))
+	}
+	if *dotOut != "" || *export != "" {
+		path, kind := *dotOut, "Graphviz DOT"
+		write := cata.ExportDOT
+		if *export != "" {
+			path, kind = *export, "JSON trace"
+			write = cata.ExportTrace
+		}
+		f, err := os.Create(path)
 		if err != nil {
 			fatal(err)
 		}
-		if err := cata.ExportDOT(f, *workload, *seed, *scale, nil); err != nil {
+		if err := write(f, *workload, *seed, *scale, nil); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("TDG of %s written to %s\n", *workload, *dotOut)
+		fmt.Printf("%s of %s written to %s\n", kind, *workload, path)
 		return
 	}
 

@@ -6,9 +6,18 @@
 //	-sweep granularity  workload scale 0.2..1.0 (task-count sensitivity)
 //	-sweep seeds        seed sensitivity of the headline speedups
 //	-sweep extensions   beyond-the-paper policies at a fixed budget
+//	-sweep policies     one row per -policies policy at a fixed budget
 //
 // Each sweep prints one row per parameter value with speedup over FIFO at
 // the matching configuration, and normalized EDP.
+//
+// -workload accepts a workload spec — a registered name or a
+// parameterized form such as 'layered:seed=7,width=16,depth=32' or
+// 'trace:file=capture.json' (see catasim -list). -policies selects the
+// policy set of the policies sweep ("all", "paper", "extensions", or a
+// comma-separated list of labels) and implies -sweep policies:
+//
+//	catasweep -workload 'layered:seed=7,width=16,depth=32' -policies all
 //
 // Sweeps execute through the batch engine: -j bounds parallelism, -cache
 // persists completed runs to a JSONL file as they finish, and a sweep
@@ -25,6 +34,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,8 +43,9 @@ import (
 
 func main() {
 	var (
-		sweep    = flag.String("sweep", "budget", "budget | latency | granularity | seeds | extensions")
-		workload = flag.String("workload", "swaptions", "benchmark to sweep")
+		sweep    = flag.String("sweep", "", "budget | latency | granularity | seeds | extensions | policies (default budget, or policies when -policies is set)")
+		workload = flag.String("workload", "swaptions", "workload spec to sweep, name[:key=val,...]")
+		policies = flag.String("policies", "", "policies for the policies sweep: all | paper | extensions | comma-separated labels")
 		fast     = flag.Int("fast", 16, "fast cores (fixed for non-budget sweeps)")
 		scale    = flag.Float64("scale", 1.0, "workload scale (fixed for non-granularity sweeps)")
 		parallel = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
@@ -48,7 +59,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "catasweep: -resume requires -cache")
 		os.Exit(2)
 	}
-	p, err := buildPlan(*sweep, *workload, *fast, *scale)
+	name := *sweep
+	if name == "" {
+		name = "budget"
+		if *policies != "" {
+			name = "policies"
+		}
+	}
+	pols, err := parsePolicies(*policies)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catasweep: %v\n", err)
+		os.Exit(2)
+	}
+	p, err := buildPlan(name, *workload, *fast, *scale, pols)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "catasweep: %v\n", err)
 		os.Exit(2)
@@ -157,8 +180,33 @@ func (b *planBuilder) row(label string, cfgs ...cata.RunConfig) {
 	b.p.rows = append(b.p.rows, row)
 }
 
+// parsePolicies resolves the -policies flag: a named set or a
+// comma-separated list of policy labels. All eight labels come from the
+// one policy table behind cata.PolicyDocs.
+func parsePolicies(s string) ([]cata.Policy, error) {
+	switch s {
+	case "":
+		return nil, nil
+	case "all":
+		return append(cata.AllPolicies(), cata.ExtensionPolicies()...), nil
+	case "paper":
+		return cata.AllPolicies(), nil
+	case "extensions":
+		return cata.ExtensionPolicies(), nil
+	}
+	var ps []cata.Policy
+	for _, label := range strings.Split(s, ",") {
+		p, err := cata.ParsePolicy(strings.TrimSpace(label))
+		if err != nil {
+			return nil, fmt.Errorf("%v (or use all | paper | extensions)", err)
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
 // buildPlan lowers one named sweep to its execution plan.
-func buildPlan(sweep, workload string, fast int, scale float64) (*plan, error) {
+func buildPlan(sweep, workload string, fast int, scale float64, policies []cata.Policy) (*plan, error) {
 	b := newPlanBuilder()
 	cfg := func(p cata.Policy, fast int, seed uint64, scale float64, lat time.Duration) cata.RunConfig {
 		return cata.RunConfig{
@@ -207,6 +255,15 @@ func buildPlan(sweep, workload string, fast int, scale float64) (*plan, error) {
 		b.p.header = fmt.Sprintf("extension comparison on %s at %d fast cores\n", workload, fast) +
 			fmt.Sprintf("%-14s %18s\n", "policy", "speedup / EDP")
 		for _, p := range []cata.Policy{cata.PolicyCATARSU, cata.PolicyCATARSUHA, cata.PolicyCATA3L} {
+			b.row(fmt.Sprintf("%-14v", p), cfg(p, fast, 0, scale, 0))
+		}
+	case "policies":
+		if len(policies) == 0 {
+			policies = append(cata.AllPolicies(), cata.ExtensionPolicies()...)
+		}
+		b.p.header = fmt.Sprintf("policy comparison on %s at %d fast cores\n", workload, fast) +
+			fmt.Sprintf("%-14s %18s\n", "policy", "speedup / EDP")
+		for _, p := range policies {
 			b.row(fmt.Sprintf("%-14v", p), cfg(p, fast, 0, scale, 0))
 		}
 	default:

@@ -12,7 +12,7 @@ import (
 // TestSweepSmoke exercises the full catasweep path — plan building,
 // batch execution, table rendering — at a tiny scale.
 func TestSweepSmoke(t *testing.T) {
-	p, err := buildPlan("seeds", "swaptions", 8, 0.05)
+	p, err := buildPlan("seeds", "swaptions", 8, 0.05, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestSweepSmoke(t *testing.T) {
 // TestSweepPlanDedupesBaselines: every policy in a row normalizes
 // against one shared FIFO run, so the engine never runs a config twice.
 func TestSweepPlanDedupesBaselines(t *testing.T) {
-	p, err := buildPlan("latency", "swaptions", 16, 0.05)
+	p, err := buildPlan("latency", "swaptions", 16, 0.05, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestSweepPlanDedupesBaselines(t *testing.T) {
 // skip every simulation and render byte-identical output.
 func TestSweepResume(t *testing.T) {
 	cachePath := filepath.Join(t.TempDir(), "sweep.jsonl")
-	p, err := buildPlan("seeds", "swaptions", 8, 0.05)
+	p, err := buildPlan("seeds", "swaptions", 8, 0.05, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,90 @@ func TestSweepResume(t *testing.T) {
 
 // TestSweepUnknownName: bad sweep names fail plan building.
 func TestSweepUnknownName(t *testing.T) {
-	if _, err := buildPlan("nope", "swaptions", 8, 1.0); err == nil {
+	if _, err := buildPlan("nope", "swaptions", 8, 1.0, nil); err == nil {
 		t.Fatal("want error for unknown sweep")
+	}
+}
+
+// TestParsePolicies: named sets and explicit label lists resolve against
+// the one policy table; junk is rejected.
+func TestParsePolicies(t *testing.T) {
+	all, err := parsePolicies("all")
+	if err != nil || len(all) != 8 {
+		t.Fatalf("all = %v, %v; want 8 policies", all, err)
+	}
+	paper, err := parsePolicies("paper")
+	if err != nil || len(paper) != 6 {
+		t.Fatalf("paper = %v, %v; want 6 policies", paper, err)
+	}
+	ext, err := parsePolicies("extensions")
+	if err != nil || len(ext) != 2 {
+		t.Fatalf("extensions = %v, %v; want 2 policies", ext, err)
+	}
+	pair, err := parsePolicies("CATA, CATA+RSU")
+	if err != nil || len(pair) != 2 || pair[0] != cata.PolicyCATA || pair[1] != cata.PolicyCATARSU {
+		t.Fatalf("label list = %v, %v", pair, err)
+	}
+	if _, err := parsePolicies("CATA,nope"); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+// TestSweepPoliciesOnSyntheticWorkload: the acceptance path — a policies
+// sweep over a parameterized synthetic DAG runs end to end, renders one
+// row per policy, is deterministic across -j values, and resumes from
+// cache with byte-identical output.
+func TestSweepPoliciesOnSyntheticWorkload(t *testing.T) {
+	const workload = "layered:seed=7,width=5,depth=6"
+	pols, err := parsePolicies("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := buildPlan("policies", workload, 4, 1.0, pols)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(results []cata.BatchResult) string {
+		t.Helper()
+		var out strings.Builder
+		if errs := p.render(&out, results); len(errs) > 0 {
+			t.Fatalf("render errors: %v", errs)
+		}
+		return out.String()
+	}
+	cachePath := filepath.Join(t.TempDir(), "sweep.jsonl")
+	seq, err := cata.RunBatch(context.Background(), p.configs,
+		cata.BatchOptions{Parallelism: 1, CachePath: cachePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := cata.RunBatch(context.Background(), p.configs, cata.BatchOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := render(seq)
+	if got != render(par) {
+		t.Fatalf("-j 1 and -j 8 rendered differently:\n%s\nvs\n%s", got, render(par))
+	}
+	if !strings.Contains(got, "policy comparison on "+workload) {
+		t.Fatalf("missing header:\n%s", got)
+	}
+	if lines := strings.Count(got, "\n"); lines != 10 { // title + header + 8 policy rows
+		t.Fatalf("got %d lines, want 10:\n%s", lines, got)
+	}
+
+	resumed, err := cata.RunBatch(context.Background(), p.configs,
+		cata.BatchOptions{CachePath: cachePath, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resumed {
+		if !r.Cached {
+			t.Errorf("config %d (%s/%v) re-ran despite resume", i, r.Config.Workload, r.Config.Policy)
+		}
+	}
+	if got != render(resumed) {
+		t.Fatalf("resumed output differs:\n%s\nvs\n%s", got, render(resumed))
 	}
 }

@@ -40,5 +40,18 @@
 // every completed run. Results are always returned in spec order,
 // identical to a sequential execution.
 //
-// Custom task graphs are built with NewProgram; see examples/customworkload.
+// Workloads are specs resolved against a registry (see Workloads): the
+// six paper benchmarks, five seeded synthetic DAG generators with
+// tunable shape parameters, and importers for externally captured task
+// graphs:
+//
+//	cata.Run(cata.RunConfig{Workload: "layered:seed=7,width=16,depth=32", ...})
+//	cata.Run(cata.RunConfig{Workload: "trace:file=capture.json", ...})
+//
+// ExportTrace writes any workload as a replayable JSON trace (replaying
+// reproduces the original run exactly), and ExportDOT writes the TDG as
+// Graphviz DOT with costs embedded, re-importable as the "dot" workload.
+// Custom task graphs are built in code with NewProgram; see
+// examples/customworkload. ARCHITECTURE.md maps the internal packages
+// and the data flow of one simulated run.
 package cata

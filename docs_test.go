@@ -1,0 +1,82 @@
+package cata_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"cata"
+)
+
+// readDoc loads a repository markdown file for drift checks.
+func readDoc(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatalf("reading %s: %v", name, err)
+	}
+	return string(b)
+}
+
+// TestREADMEListsEveryPolicy: the README policy table stays in sync with
+// the single source of truth, cata.PolicyDocs — both the label and its
+// summary line must appear verbatim.
+func TestREADMEListsEveryPolicy(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	docs := cata.PolicyDocs()
+	if len(docs) != 8 {
+		t.Fatalf("PolicyDocs = %d entries, want 8", len(docs))
+	}
+	for _, d := range docs {
+		if !strings.Contains(readme, "`"+d.Label+"`") {
+			t.Errorf("README.md policy table is missing %q", d.Label)
+		}
+		if !strings.Contains(readme, d.Summary) {
+			t.Errorf("README.md policy table is missing the summary for %q: %q", d.Label, d.Summary)
+		}
+	}
+}
+
+// TestREADMEListsEveryWorkload: the workloads section names every
+// registered workload, so the registry and the docs cannot drift.
+func TestREADMEListsEveryWorkload(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	for _, w := range cata.Workloads() {
+		if !strings.Contains(readme, "`"+w.Name+"`") {
+			t.Errorf("README.md workloads section is missing %q", w.Name)
+		}
+	}
+}
+
+// TestCLIHelpDerivesFromPolicyDocs: the labels joined for -policy help
+// parse back, so a help string can never advertise an unknown policy.
+func TestCLIHelpDerivesFromPolicyDocs(t *testing.T) {
+	labels := cata.PolicyLabels()
+	if len(labels) != 8 {
+		t.Fatalf("PolicyLabels = %v, want 8 labels", labels)
+	}
+	for _, l := range labels {
+		p, err := cata.ParsePolicy(l)
+		if err != nil {
+			t.Errorf("label %q does not parse: %v", l, err)
+		}
+		if p.String() != l {
+			t.Errorf("label %q round-trips to %q", l, p)
+		}
+	}
+}
+
+// TestArchitectureDocExists: the package map referenced from doc.go and
+// the README is present and mentions the load-bearing packages.
+func TestArchitectureDocExists(t *testing.T) {
+	arch := readDoc(t, "ARCHITECTURE.md")
+	for _, pkg := range []string{
+		"internal/exp", "internal/batch", "internal/workloads",
+		"internal/program", "internal/tdg", "internal/rts",
+		"internal/machine", "internal/sim",
+	} {
+		if !strings.Contains(arch, pkg) {
+			t.Errorf("ARCHITECTURE.md does not mention %s", pkg)
+		}
+	}
+}

@@ -47,7 +47,8 @@ func ExampleNewProgram() {
 	// Output: 3 tasks, valid: true
 }
 
-// ExampleWorkloads lists the built-in PARSECSs-like benchmarks.
+// ExampleWorkloads lists the workload registry: the paper's benchmarks,
+// the synthetic DAG shapes, and the trace importers.
 func ExampleWorkloads() {
 	for _, w := range cata.Workloads() {
 		fmt.Println(w.Name)
@@ -59,6 +60,13 @@ func ExampleWorkloads() {
 	// bodytrack
 	// dedup
 	// ferret
+	// chain
+	// dot
+	// forkjoin
+	// layered
+	// pipeline
+	// trace
+	// wavefront
 }
 
 // ExampleParsePolicy round-trips a paper label.

@@ -33,6 +33,7 @@ type OperatingPoint struct {
 	Voltage float64 // volts
 }
 
+// String renders the point as frequency@voltage.
 func (p OperatingPoint) String() string {
 	return fmt.Sprintf("%v@%gV", p.Freq, p.Voltage)
 }
@@ -52,6 +53,7 @@ const (
 	C3Sleep
 )
 
+// String returns the ACPI-style state name.
 func (c CState) String() string {
 	switch c {
 	case C0Active:

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"cata/internal/stats"
+	"cata/internal/workloads"
 )
 
 // Matrix holds the full evaluation of a set of policies over the six
@@ -54,8 +55,15 @@ func (s MatrixSpec) withDefaults() MatrixSpec {
 	return s
 }
 
+// defaultWorkloads are the paper's six benchmarks, taken from the
+// workload registry rather than a third hand-maintained list.
 func defaultWorkloads() []string {
-	return []string{"blackscholes", "swaptions", "fluidanimate", "bodytrack", "dedup", "ferret"}
+	ws := workloads.All()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name()
+	}
+	return names
 }
 
 // RunMatrix executes the matrix (FIFO baselines are added automatically)

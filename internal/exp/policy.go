@@ -2,6 +2,13 @@
 // configurations (machine + scheduler + estimator + reconfiguration
 // mechanism), runs workloads across the paper's evaluation matrix, and
 // renders the tables behind Figure 4, Figure 5 and the §V-C analysis.
+//
+// A RunSpec names a workload spec (resolved by internal/workloads), a
+// Policy (one of the eight configurations in PolicyDocs) and a machine;
+// Run executes it and harvests a Measurement. Sweep fans many specs
+// through the batch engine (internal/batch) with cancellation, bounded
+// parallelism and a content-addressed result cache, and RunMatrixSweep
+// assembles the FIFO-normalized matrices the figures are built from.
 package exp
 
 import (
@@ -47,6 +54,39 @@ const (
 	CATA3L
 )
 
+// PolicyDoc describes one policy for help strings, listings and tables.
+// policyDocs is the single source of truth for the policy set: String,
+// ParsePolicy, AllPolicies, ExtensionPolicies, the CLIs' -policy help
+// and the README policy table all derive from it (the last enforced by
+// a test), so the eight policies can never drift apart across lists.
+type PolicyDoc struct {
+	// Policy is the enum value.
+	Policy Policy
+	// Label is the paper's name for the configuration.
+	Label string
+	// Extension marks beyond-the-paper configurations.
+	Extension bool
+	// Summary is a one-line description.
+	Summary string
+}
+
+var policyDocs = []PolicyDoc{
+	{FIFO, "FIFO", false, "criticality-blind FIFO scheduler on statically fast/slow cores (baseline)"},
+	{CATSBL, "CATS+BL", false, "criticality-aware scheduling, dynamic bottom-level estimation"},
+	{CATSSA, "CATS+SA", false, "criticality-aware scheduling, static criticality annotations"},
+	{CATA, "CATA", false, "criticality-driven acceleration in software via the cpufreq stack"},
+	{CATARSU, "CATA+RSU", false, "CATA with the hardware Runtime Support Unit"},
+	{TURBO, "TurboMode", false, "criticality-blind acceleration of random ready cores"},
+	{CATARSUHA, "CATA+RSU-HA", true, "CATA+RSU that re-budgets cores halted in kernel IO"},
+	{CATA3L, "CATA+RSU-3L", true, "CATA+RSU with three operating points under a power-unit budget"},
+}
+
+// PolicyDocs returns documentation for every policy, paper order first,
+// then the extensions. The returned slice is a copy.
+func PolicyDocs() []PolicyDoc {
+	return append([]PolicyDoc(nil), policyDocs...)
+}
+
 // Fig4Policies are the software-only configurations of Figure 4.
 func Fig4Policies() []Policy { return []Policy{FIFO, CATSBL, CATSSA, CATA} }
 
@@ -54,37 +94,31 @@ func Fig4Policies() []Policy { return []Policy{FIFO, CATSBL, CATSSA, CATA} }
 // as the normalization baseline).
 func Fig5Policies() []Policy { return []Policy{CATA, CATARSU, TURBO} }
 
-// AllPolicies returns every paper-evaluated policy once (the HA extension
-// is opt-in; see ExtensionPolicies).
-func AllPolicies() []Policy {
-	return []Policy{FIFO, CATSBL, CATSSA, CATA, CATARSU, TURBO}
-}
+// AllPolicies returns every paper-evaluated policy once (the extensions
+// are opt-in; see ExtensionPolicies).
+func AllPolicies() []Policy { return policiesWhere(false) }
 
 // ExtensionPolicies returns the beyond-the-paper configurations.
-func ExtensionPolicies() []Policy { return []Policy{CATARSUHA, CATA3L} }
+func ExtensionPolicies() []Policy { return policiesWhere(true) }
+
+func policiesWhere(extension bool) []Policy {
+	var ps []Policy
+	for _, d := range policyDocs {
+		if d.Extension == extension {
+			ps = append(ps, d.Policy)
+		}
+	}
+	return ps
+}
 
 // String implements fmt.Stringer with the paper's labels.
 func (p Policy) String() string {
-	switch p {
-	case FIFO:
-		return "FIFO"
-	case CATSBL:
-		return "CATS+BL"
-	case CATSSA:
-		return "CATS+SA"
-	case CATA:
-		return "CATA"
-	case CATARSU:
-		return "CATA+RSU"
-	case TURBO:
-		return "TurboMode"
-	case CATARSUHA:
-		return "CATA+RSU-HA"
-	case CATA3L:
-		return "CATA+RSU-3L"
-	default:
-		return fmt.Sprintf("Policy(%d)", int(p))
+	for _, d := range policyDocs {
+		if d.Policy == p {
+			return d.Label
+		}
 	}
+	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
 // MarshalJSON encodes the policy as its paper label, keeping cache keys
@@ -111,9 +145,9 @@ func (p *Policy) UnmarshalJSON(b []byte) error {
 // ParsePolicy converts a paper label (case-sensitive, as printed by
 // String) to a Policy.
 func ParsePolicy(s string) (Policy, error) {
-	for _, p := range append(AllPolicies(), ExtensionPolicies()...) {
-		if p.String() == s {
-			return p, nil
+	for _, d := range policyDocs {
+		if d.Label == s {
+			return d.Policy, nil
 		}
 	}
 	return 0, fmt.Errorf("exp: unknown policy %q", s)

@@ -17,8 +17,9 @@ import (
 // RunSpec identifies one simulation: a workload under a policy with a
 // fast-core budget on a machine.
 type RunSpec struct {
-	// Workload is a benchmark name from internal/workloads. Ignored when
-	// Program is set.
+	// Workload is a workload spec resolved against the registry in
+	// internal/workloads: a bare name ("dedup") or a parameterized spec
+	// ("layered:seed=7,width=16,depth=32"). Ignored when Program is set.
 	Workload string
 	// Program, when non-nil, is run directly instead of a named workload
 	// (the public API's custom-workload path).
@@ -64,6 +65,7 @@ func (s RunSpec) withDefaults() RunSpec {
 	return s
 }
 
+// String renders the spec as workload/policy/fast for logs and errors.
 func (s RunSpec) String() string {
 	return fmt.Sprintf("%s/%v/fast=%d", s.Workload, s.Policy, s.FastCores)
 }
@@ -151,11 +153,11 @@ func Run(spec RunSpec) (Measurement, error) {
 	spec = spec.withDefaults()
 	prog := spec.Program
 	if prog == nil {
-		w, err := workloads.ByName(spec.Workload)
+		p, err := workloads.Build(spec.Workload, spec.Seed, spec.Scale)
 		if err != nil {
 			return Measurement{}, err
 		}
-		prog = w.Build(spec.Seed, spec.Scale)
+		prog = p
 	}
 	rig, err := buildRig(spec, programHolder{prog})
 	if err != nil {

@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cata/internal/program"
+	"cata/internal/workloads"
+)
+
+// scenarioSpec is a small synthetic workload used across these tests.
+const scenarioSpec = "layered:seed=7,width=6,depth=8"
+
+// TestSyntheticMeasurementParallelismInvariant: the same synthetic spec
+// measured at -j 1 and -j 8 yields identical Measurements — determinism
+// survives the worker pool.
+func TestSyntheticMeasurementParallelismInvariant(t *testing.T) {
+	specs := []RunSpec{
+		{Workload: scenarioSpec, Policy: CATA, FastCores: 4, Cores: 8},
+		{Workload: scenarioSpec, Policy: CATARSU, FastCores: 4, Cores: 8},
+		{Workload: scenarioSpec, Policy: FIFO, FastCores: 4, Cores: 8},
+		{Workload: "wavefront:rows=5,cols=5", Policy: CATSBL, FastCores: 4, Cores: 8},
+	}
+	seq, err := Sweep(context.Background(), specs, SweepOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sweep(context.Background(), specs, SweepOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("spec %d failed: %v / %v", i, seq[i].Err, par[i].Err)
+		}
+		if !reflect.DeepEqual(seq[i].Measurement, par[i].Measurement) {
+			t.Fatalf("spec %d: -j 1 and -j 8 measurements differ:\n%+v\n%+v",
+				i, seq[i].Measurement, par[i].Measurement)
+		}
+	}
+}
+
+// TestCacheKeyCanonicalizesWorkloadSpecs: parameter spelling order does
+// not fork the cache; different parameters do.
+func TestCacheKeyCanonicalizesWorkloadSpecs(t *testing.T) {
+	key := func(w string) string {
+		t.Helper()
+		k, ok := cacheKey(RunSpec{Workload: w, Policy: CATA, FastCores: 4})
+		if !ok {
+			t.Fatalf("cacheKey(%q) not cacheable", w)
+		}
+		return k
+	}
+	a := key("layered:width=6,depth=8")
+	b := key("layered:depth=8,width=6")
+	if a != b {
+		t.Fatal("parameter order forked the cache key")
+	}
+	if a == key("layered:depth=8,width=7") {
+		t.Fatal("different width shares a cache key")
+	}
+	if a == key("layered:depth=8,width=6,seed=9") {
+		t.Fatal("generated-workload seed missing from the cache key")
+	}
+	if _, ok := cacheKey(RunSpec{Workload: "nope", Policy: CATA}); ok {
+		t.Fatal("unknown workload is cacheable")
+	}
+	if _, ok := cacheKey(RunSpec{Workload: "trace:file=/does/not/exist", Policy: CATA}); ok {
+		t.Fatal("unreadable trace file is cacheable")
+	}
+}
+
+// TestTraceReplayReproducesRunExactly: exporting any workload to a JSON
+// trace and replaying it through the trace importer reproduces the
+// original measurement bit for bit — same makespan, energy and EDP.
+func TestTraceReplayReproducesRunExactly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "capture.json")
+	prog, err := workloads.Build(scenarioSpec, 42, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := program.WriteJSON(f, prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, pol := range []Policy{FIFO, CATA, CATARSU} {
+		orig, err := Run(RunSpec{Workload: scenarioSpec, Policy: pol, FastCores: 4, Cores: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, err := Run(RunSpec{Workload: "trace:file=" + path, Policy: pol, FastCores: 4, Cores: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if orig.Makespan != replay.Makespan || orig.Joules != replay.Joules || orig.EDP != replay.EDP ||
+			orig.TasksRun != replay.TasksRun || orig.CriticalTasks != replay.CriticalTasks {
+			t.Fatalf("%v: replay diverged:\noriginal %+v\nreplay   %+v", pol, orig, replay)
+		}
+	}
+}
+
+// TestRunParameterizedWorkloadSpecs: specs with parameters run through
+// the ordinary Run path under every policy family.
+func TestRunParameterizedWorkloadSpecs(t *testing.T) {
+	for _, w := range []string{
+		"chain:length=6,side=2",
+		"pipeline:items=8,stages=3",
+		"forkjoin:width=6,phases=2",
+	} {
+		m, err := Run(RunSpec{Workload: w, Policy: CATA, FastCores: 4, Cores: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Makespan <= 0 || m.TasksRun == 0 || m.CriticalTasks == 0 {
+			t.Fatalf("%s: degenerate measurement %+v", w, m)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"cata/internal/batch"
+	"cata/internal/workloads"
 )
 
 // SweepOptions configure a batch sweep.
@@ -84,13 +85,24 @@ func Sweep(ctx context.Context, specs []RunSpec, opts SweepOptions) ([]RunResult
 }
 
 // cacheKey hashes the defaulted spec so that e.g. Cores 0 and Cores 32
-// share a cache entry. Specs carrying an in-memory program or output
-// writers are not content-addressable and are never cached.
+// share a cache entry. The workload spec is replaced by its cache token
+// — the canonical parameter spelling plus, for file-backed workloads,
+// the file's content hash — so generated-workload parameters key the
+// cache correctly and editing a trace file never reuses a stale result.
+// Specs carrying an in-memory program or output writers are not
+// content-addressable and are never cached, as are specs whose workload
+// fails to resolve (those runs fail anyway).
 func cacheKey(s RunSpec) (string, bool) {
 	if s.Program != nil || s.Trace != nil || s.Timeline != nil {
 		return "", false
 	}
-	k, err := batch.Key(s.withDefaults())
+	s = s.withDefaults()
+	tok, err := workloads.CacheToken(s.Workload)
+	if err != nil {
+		return "", false
+	}
+	s.Workload = tok
+	k, err := batch.Key(s)
 	if err != nil {
 		return "", false
 	}

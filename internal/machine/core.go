@@ -24,6 +24,7 @@ const (
 	Waking
 )
 
+// String returns the state name.
 func (s CoreState) String() string {
 	switch s {
 	case Busy:

@@ -2,7 +2,9 @@
 // application: an ordered list of task creations and barriers, as emitted
 // by the master thread of an OmpSs/OpenMP 4.0 program (§II-A). Workload
 // generators (internal/workloads) produce Programs; the runtime
-// (internal/rts) executes them.
+// (internal/rts) executes them. WriteJSON and ReadJSON serialize a
+// Program as a portable JSON trace that round-trips bit-exactly, the
+// interchange format behind trace export and replay.
 package program
 
 import (

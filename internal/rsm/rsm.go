@@ -31,6 +31,7 @@ const (
 	Critical
 )
 
+// String returns a one-character state marker.
 func (c CritState) String() string {
 	switch c {
 	case NoTask:

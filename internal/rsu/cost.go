@@ -60,6 +60,7 @@ func ceilLog2(v int) int {
 	return int(math.Ceil(math.Log2(float64(v))))
 }
 
+// String summarizes the hardware budget in one line.
 func (c Cost) String() string {
 	return fmt.Sprintf("RSU cost for %d cores, %d power states: %d bits, %.1f µm² (%.6f%% of die), %.1f µW",
 		c.Cores, c.PowerStates, c.StorageBits, c.AreaUm2, c.DieFraction*100, c.PowerWatts*1e6)

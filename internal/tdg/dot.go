@@ -10,6 +10,11 @@ import (
 // task labeled with its type, ID and bottom level. Critical tasks are
 // drawn as boxes, mirroring Figure 1 of the paper. Useful for debugging
 // workload generators and for documentation.
+//
+// Beyond the rendered label, each node carries machine-readable cost
+// attributes (type, criticality, cycles, mem_ps, io_ps) that Graphviz
+// ignores but ReadDOT understands, so an exported graph can be
+// re-imported and re-simulated with its costs intact.
 func WriteDOT(w io.Writer, tasks []*Task) error {
 	sorted := append([]*Task(nil), tasks...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
@@ -21,12 +26,14 @@ func WriteDOT(w io.Writer, tasks []*Task) error {
 		if t.Critical {
 			shape = "box"
 		}
-		name := "?"
+		name, crit := "?", 0
 		if t.Type != nil {
 			name = t.Type.Name
+			crit = t.Type.Criticality
 		}
-		if _, err := fmt.Fprintf(w, "  t%d [label=\"%s #%d\\nbl=%d\" shape=%s];\n",
-			t.ID, name, t.ID, t.BottomLevel, shape); err != nil {
+		if _, err := fmt.Fprintf(w, "  t%d [label=\"%s #%d\\nbl=%d\" shape=%s type=\"%s\" criticality=%d cycles=%d mem_ps=%d io_ps=%d];\n",
+			t.ID, name, t.ID, t.BottomLevel, shape, name, crit,
+			t.CPUCycles, int64(t.MemTime), int64(t.IOTime)); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,205 @@
+package tdg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"cata/internal/sim"
+)
+
+// DOTTask is one node of an imported DOT graph: its identity, the cost
+// attributes WriteDOT embeds (zero when absent, as in hand-written DOT
+// files), and its predecessor edges as indices into the slice ReadDOT
+// returns.
+type DOTTask struct {
+	// Name is the DOT node id (e.g. "t17").
+	Name string
+	// Type is the task-type name from the `type` attribute ("" if absent).
+	Type string
+	// Criticality is the static criticality annotation.
+	Criticality int
+	// CPUCycles, MemTime and IOTime are the execution costs; all zero
+	// when the file carries no cost attributes.
+	CPUCycles int64
+	MemTime   sim.Time
+	IOTime    sim.Time
+	// Preds indexes this node's predecessors in the returned slice.
+	Preds []int
+}
+
+// dotAttrRe matches one key=value attribute, value quoted or bare.
+var dotAttrRe = regexp.MustCompile(`(\w+)\s*=\s*("(?:[^"\\]|\\.)*"|[^,\s\[\]]+)`)
+
+// ReadDOT parses a Graphviz digraph into tasks, inverting WriteDOT: node
+// statements carry the cost attributes, edge statements become dependence
+// edges. Nodes appear in the returned slice in order of first mention,
+// which for WriteDOT output is task-ID (program) order.
+//
+// The parser accepts the pragmatic line-oriented subset WriteDOT emits
+// plus plain hand-written digraphs (`a -> b;` with implicit nodes, quoted
+// ids, chained edges, comments); subgraphs are not supported.
+func ReadDOT(r io.Reader) ([]DOTTask, error) {
+	var tasks []DOTTask
+	index := map[string]int{}
+	intern := func(id string) int {
+		if i, ok := index[id]; ok {
+			return i
+		}
+		index[id] = len(tasks)
+		tasks = append(tasks, DOTTask{Name: id})
+		return len(tasks) - 1
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineno := 0
+	sawGraph := false
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		line = strings.TrimSuffix(line, ";")
+		if line == "" || line == "}" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Keyword statements. DOT reserves these words, so matching the
+		// whole first token never misclassifies a node id like "node1".
+		switch firstToken(line) {
+		case "subgraph":
+			return nil, fmt.Errorf("tdg: dot line %d: subgraphs are not supported", lineno)
+		case "digraph", "strict":
+			sawGraph = true
+			continue
+		case "graph", "node", "edge":
+			// Default-attribute statements: nothing to import.
+			continue
+		}
+		if !sawGraph {
+			return nil, fmt.Errorf("tdg: dot line %d: statement before digraph header", lineno)
+		}
+
+		// Split off a trailing [attr list], if any.
+		stmt, attrs := line, ""
+		if i := strings.Index(line, "["); i >= 0 {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("tdg: dot line %d: unterminated attribute list", lineno)
+			}
+			stmt = strings.TrimSpace(line[:i])
+			attrs = line[i+1 : len(line)-1]
+		}
+
+		if strings.Contains(stmt, "->") {
+			// Edge statement, possibly chained: a -> b -> c.
+			ids := strings.Split(stmt, "->")
+			prev := -1
+			for _, raw := range ids {
+				id, err := dotID(strings.TrimSpace(raw))
+				if err != nil {
+					return nil, fmt.Errorf("tdg: dot line %d: %v", lineno, err)
+				}
+				cur := intern(id)
+				if prev >= 0 {
+					tasks[cur].Preds = append(tasks[cur].Preds, prev)
+				}
+				prev = cur
+			}
+			continue
+		}
+
+		// Node statement.
+		id, err := dotID(stmt)
+		if err != nil {
+			return nil, fmt.Errorf("tdg: dot line %d: %v", lineno, err)
+		}
+		t := &tasks[intern(id)]
+		for _, m := range dotAttrRe.FindAllStringSubmatch(attrs, -1) {
+			key, val := m[1], m[2]
+			if strings.HasPrefix(val, `"`) {
+				if val, err = strconv.Unquote(val); err != nil {
+					return nil, fmt.Errorf("tdg: dot line %d: bad value for %s: %v", lineno, key, err)
+				}
+			}
+			if err := setDOTAttr(t, key, val); err != nil {
+				return nil, fmt.Errorf("tdg: dot line %d: %v", lineno, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tdg: reading dot: %w", err)
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("tdg: dot graph has no nodes")
+	}
+	return tasks, nil
+}
+
+// firstToken returns the statement's leading identifier, cut at the
+// first space, bracket or brace.
+func firstToken(line string) string {
+	if i := strings.IndexAny(line, " \t[{"); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// dotID validates and unquotes one node id.
+func dotID(s string) (string, error) {
+	if s == "" {
+		return "", fmt.Errorf("empty node id")
+	}
+	if strings.HasPrefix(s, `"`) {
+		id, err := strconv.Unquote(s)
+		if err != nil {
+			return "", fmt.Errorf("bad node id %s: %v", s, err)
+		}
+		return id, nil
+	}
+	if strings.ContainsAny(s, " \t{}") {
+		return "", fmt.Errorf("bad node id %q", s)
+	}
+	return s, nil
+}
+
+// setDOTAttr applies one recognized node attribute; unknown attributes
+// (label, shape, color, ...) are ignored.
+func setDOTAttr(t *DOTTask, key, val string) error {
+	parse := func() (int64, error) {
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("bad %s=%q on node %s", key, val, t.Name)
+		}
+		return v, nil
+	}
+	switch key {
+	case "type":
+		t.Type = val
+	case "criticality":
+		v, err := parse()
+		if err != nil {
+			return err
+		}
+		t.Criticality = int(v)
+	case "cycles":
+		v, err := parse()
+		if err != nil {
+			return err
+		}
+		t.CPUCycles = v
+	case "mem_ps":
+		v, err := parse()
+		if err != nil {
+			return err
+		}
+		t.MemTime = sim.Time(v)
+	case "io_ps":
+		v, err := parse()
+		if err != nil {
+			return err
+		}
+		t.IOTime = sim.Time(v)
+	}
+	return nil
+}

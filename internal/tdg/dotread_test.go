@@ -1,0 +1,139 @@
+package tdg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cata/internal/sim"
+)
+
+// TestDOTRoundTrip: WriteDOT → ReadDOT preserves identity, costs,
+// criticality and the full edge set.
+func TestDOTRoundTrip(t *testing.T) {
+	crit := &TaskType{Name: "spine", Criticality: 2}
+	plain := &TaskType{Name: "work"}
+	g := New(nil)
+	mk := func(id int, tt *TaskType, ins, outs []Token) *Task {
+		tk := &Task{ID: id, Type: tt, CPUCycles: int64(100 * (id + 1)),
+			MemTime: sim.Time(10 * (id + 1)), IOTime: sim.Time(id), Ins: ins, Outs: outs}
+		tk.Critical = tt.Criticality > 0
+		g.Submit(tk)
+		return tk
+	}
+	tasks := []*Task{
+		mk(0, crit, nil, []Token{1}),
+		mk(1, plain, []Token{1}, []Token{2}),
+		mk(2, plain, []Token{1}, []Token{3}),
+		mk(3, crit, []Token{2, 3}, nil),
+	}
+
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDOT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 {
+		t.Fatalf("got %d nodes, want 4", len(back))
+	}
+	for i, n := range back {
+		want := tasks[i]
+		if n.Type != want.Type.Name || n.Criticality != want.Type.Criticality {
+			t.Errorf("node %d: type %q/%d, want %q/%d", i, n.Type, n.Criticality, want.Type.Name, want.Type.Criticality)
+		}
+		if n.CPUCycles != want.CPUCycles || n.MemTime != want.MemTime || n.IOTime != want.IOTime {
+			t.Errorf("node %d: costs %d/%v/%v, want %d/%v/%v", i,
+				n.CPUCycles, n.MemTime, n.IOTime, want.CPUCycles, want.MemTime, want.IOTime)
+		}
+	}
+	if len(back[1].Preds) != 1 || back[1].Preds[0] != 0 {
+		t.Errorf("node 1 preds = %v, want [0]", back[1].Preds)
+	}
+	if len(back[3].Preds) != 2 {
+		t.Errorf("node 3 preds = %v, want two", back[3].Preds)
+	}
+}
+
+// TestReadDOTHandWritten: a plain human-written digraph — implicit
+// nodes, chained edges, comments, quoted ids, no cost attributes.
+func TestReadDOTHandWritten(t *testing.T) {
+	src := `
+// a tiny diamond
+digraph g {
+  node [shape=circle];
+  src -> left -> sink;
+  src -> "right node";
+  "right node" -> sink
+}
+`
+	nodes, err := ReadDOT(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 4 {
+		t.Fatalf("got %d nodes, want 4", len(nodes))
+	}
+	byName := map[string]DOTTask{}
+	for _, n := range nodes {
+		byName[n.Name] = n
+	}
+	if _, ok := byName["right node"]; !ok {
+		t.Fatalf("quoted id lost: %+v", nodes)
+	}
+	if len(byName["sink"].Preds) != 2 {
+		t.Fatalf("sink preds = %v, want two", byName["sink"].Preds)
+	}
+	if byName["src"].CPUCycles != 0 {
+		t.Fatal("hand-written node unexpectedly has costs")
+	}
+}
+
+// TestReadDOTKeywordLikeIDs: ids that merely start with a reserved word
+// ("node1", "edge_a") are real nodes, not default-attribute statements.
+func TestReadDOTKeywordLikeIDs(t *testing.T) {
+	src := `
+digraph g {
+  node [shape=circle];
+  node1 -> node2;
+  edge_a -> node1;
+  graph2 [cycles=5];
+}
+`
+	nodes, err := ReadDOT(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 4 {
+		t.Fatalf("got %d nodes, want 4: %+v", len(nodes), nodes)
+	}
+	byName := map[string]DOTTask{}
+	for _, n := range nodes {
+		byName[n.Name] = n
+	}
+	if len(byName["node1"].Preds) != 1 || len(byName["node2"].Preds) != 1 {
+		t.Fatalf("edges between keyword-prefixed ids lost: %+v", nodes)
+	}
+	if byName["graph2"].CPUCycles != 5 {
+		t.Fatalf("graph2 attributes lost: %+v", byName["graph2"])
+	}
+}
+
+// TestReadDOTErrors: malformed input fails with a line-numbered error.
+func TestReadDOTErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"empty":            "digraph g {\n}\n",
+		"no header":        "a -> b;\n",
+		"subgraph":         "digraph g {\n subgraph c { a; }\n}\n",
+		"unterminated":     "digraph g {\n a [label=\"x\";\n}\n",
+		"bad cycles":       "digraph g {\n a [cycles=lots];\n}\n",
+		"negative cycles":  "digraph g {\n a [cycles=-1];\n}\n",
+		"empty edge chain": "digraph g {\n a -> ;\n}\n",
+	} {
+		if _, err := ReadDOT(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,8 +1,14 @@
 // Package tdg implements the task dependence graph at the heart of the
 // task-based programming model (§II-A): tasks with in/out data
 // dependences, OmpSs-style RAW/WAR/WAW edge resolution, ready tracking,
-// and the incremental bottom-level computation used by dynamic criticality
-// estimation (§II-B, [24]).
+// and the incremental bottom-level computation used by dynamic
+// criticality estimation (§II-B, [24]).
+//
+// The package also speaks Graphviz DOT in both directions: WriteDOT
+// renders a graph for inspection (the paper's Figure 1 view) with
+// machine-readable cost attributes embedded, and ReadDOT parses those
+// files — or plain hand-written digraphs — back into tasks, which is how
+// external TDGs enter the simulator via the "dot" workload.
 package tdg
 
 import (
@@ -41,6 +47,7 @@ const (
 	Done
 )
 
+// String returns the lifecycle state name.
 func (s State) String() string {
 	switch s {
 	case Waiting:
@@ -110,6 +117,7 @@ func (t *Task) Duration(f sim.Hertz) sim.Time {
 	return sim.Cycles(t.CPUCycles, f) + t.MemTime
 }
 
+// String renders the task with its type, bottom level and state.
 func (t *Task) String() string {
 	name := "?"
 	if t.Type != nil {

@@ -1,0 +1,234 @@
+// Command docscheck is the CI documentation gate. It fails (exit 1) on:
+//
+//   - broken relative links in markdown files: [text](path) whose path
+//     does not exist relative to the file (http/mailto/fragment links
+//     and fenced code blocks are ignored);
+//   - exported identifiers without doc comments in non-main, non-test
+//     Go packages, and missing package comments.
+//
+// Usage:
+//
+//	docscheck [-md DIR] [-pkgs DIR]
+//
+// Both roots default to the current directory. The tool is
+// standard-library only, so CI needs nothing beyond the Go toolchain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	md := flag.String("md", ".", "root directory to scan for markdown files")
+	pkgs := flag.String("pkgs", ".", "root directory to scan for Go packages")
+	flag.Parse()
+
+	var problems []string
+	problems = append(problems, checkMarkdown(*md)...)
+	problems = append(problems, checkGoDocs(*pkgs)...)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// skipDir reports directories never worth scanning.
+func skipDir(name string) bool {
+	return strings.HasPrefix(name, ".") && name != "." || name == "testdata" || name == "node_modules"
+}
+
+// mdLinkRe matches [text](target ...); the first capture is the target.
+var mdLinkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// checkMarkdown verifies that every relative link in every markdown file
+// under root points at an existing file or directory.
+func checkMarkdown(root string) []string {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		problems = append(problems, checkMarkdownFile(path)...)
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("docscheck: walking %s: %v", root, err))
+	}
+	return problems
+}
+
+func checkMarkdownFile(path string) []string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: %v", err)}
+	}
+	var problems []string
+	inFence := false
+	for i, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range mdLinkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: broken link %q (%s does not exist)", path, i+1, m[1], resolved))
+			}
+		}
+	}
+	return problems
+}
+
+// checkGoDocs verifies package comments and exported-identifier doc
+// comments in every non-main package under root. Test files are skipped:
+// their exported helpers are not part of any API surface.
+func checkGoDocs(root string) []string {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		problems = append(problems, checkPackageDir(path)...)
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("docscheck: walking %s: %v", root, err))
+	}
+	return problems
+}
+
+func checkPackageDir(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: parsing %s: %v", dir, err)}
+	}
+	var problems []string
+	for name, pkg := range pkgs {
+		if name == "main" {
+			continue
+		}
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+			problems = append(problems, checkFileDocs(fset, f)...)
+		}
+		if !hasPkgDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+		}
+	}
+	return problems
+}
+
+func checkFileDocs(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	report := func(pos token.Pos, what, name string) {
+		problems = append(problems,
+			fmt.Sprintf("%s: exported %s %s has no doc comment", fset.Position(pos), what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			// Methods on unexported receivers never surface in go doc.
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			what := "function"
+			if d.Recv != nil {
+				what = "method"
+			}
+			report(d.Pos(), what, d.Name.Name)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc comment on the block (const/var group) or on
+					// the spec covers every name in it.
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), "const/var", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedReceiver reports whether a method receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = v.X
+		case *ast.IndexListExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec is a parsed workload specification of the form
+//
+//	name
+//	name:key=val,key=val,...
+//
+// as accepted by the -workload CLI flags and RunConfig.Workload. The name
+// selects a registry entry; the parameters configure it. Two reserved
+// parameters apply to every workload: `seed` overrides the run's seed and
+// `scale` overrides the run's scale.
+type Spec struct {
+	// Name is the registry entry name, e.g. "layered" or "dedup".
+	Name string
+
+	keys []string          // provided keys, in canonical (sorted) order
+	vals map[string]string // provided key → value
+}
+
+// ParseSpec parses a workload spec string. It validates syntax only; the
+// name and parameter keys are checked against the registry by Build.
+func ParseSpec(s string) (Spec, error) {
+	name, rest, hasParams := strings.Cut(s, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Spec{}, fmt.Errorf("workloads: empty workload name in spec %q", s)
+	}
+	sp := Spec{Name: name, vals: map[string]string{}}
+	if !hasParams {
+		return sp, nil
+	}
+	if strings.TrimSpace(rest) == "" {
+		return Spec{}, fmt.Errorf("workloads: spec %q has a ':' but no parameters", s)
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		key = strings.TrimSpace(key)
+		if !ok || key == "" {
+			return Spec{}, fmt.Errorf("workloads: bad parameter %q in spec %q (want key=val)", kv, s)
+		}
+		if _, dup := sp.vals[key]; dup {
+			return Spec{}, fmt.Errorf("workloads: duplicate parameter %q in spec %q", key, s)
+		}
+		sp.vals[key] = strings.TrimSpace(val)
+		sp.keys = append(sp.keys, key)
+	}
+	sort.Strings(sp.keys)
+	return sp, nil
+}
+
+// Canonical returns the spec in canonical form: the name followed by the
+// provided parameters in sorted key order. Two spec strings that differ
+// only in parameter order or whitespace canonicalize identically, so
+// cache keys built from the canonical form never fork on formatting.
+func (s Spec) Canonical() string {
+	if len(s.keys) == 0 {
+		return s.Name
+	}
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for i, k := range s.keys {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.vals[k])
+	}
+	return b.String()
+}
+
+// Param returns the raw value of a provided parameter.
+func (s Spec) Param(key string) (string, bool) {
+	v, ok := s.vals[key]
+	return v, ok
+}
+
+// Params gives a workload constructor typed access to a spec's
+// parameters. Accessors return the default when the key is absent and
+// record an error (reported by Err) when a value fails to parse or falls
+// outside its range, so constructors can read every parameter up front
+// and fail with the first problem.
+type Params struct {
+	workload string
+	vals     map[string]string
+	errs     []error
+}
+
+func newParams(workload string, vals map[string]string) *Params {
+	return &Params{workload: workload, vals: vals}
+}
+
+func (p *Params) fail(format string, args ...any) {
+	p.errs = append(p.errs, fmt.Errorf("workloads: %s: %s", p.workload, fmt.Sprintf(format, args...)))
+}
+
+// Str returns the string parameter key, or def when absent.
+func (p *Params) Str(key, def string) string {
+	v, ok := p.vals[key]
+	if !ok {
+		return def
+	}
+	return v
+}
+
+// Int returns the integer parameter key checked against min, or def when
+// absent.
+func (p *Params) Int(key string, def, min int) int {
+	s, ok := p.vals[key]
+	if !ok {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		p.fail("parameter %s=%q is not an integer", key, s)
+		return def
+	}
+	if v < min {
+		p.fail("parameter %s=%d must be >= %d", key, v, min)
+		return def
+	}
+	return v
+}
+
+// Uint64 returns the uint64 parameter key, or def when absent.
+func (p *Params) Uint64(key string, def uint64) uint64 {
+	s, ok := p.vals[key]
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		p.fail("parameter %s=%q is not an unsigned integer", key, s)
+		return def
+	}
+	return v
+}
+
+// Float returns the float parameter key checked against [lo, hi], or def
+// when absent.
+func (p *Params) Float(key string, def, lo, hi float64) float64 {
+	s, ok := p.vals[key]
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		p.fail("parameter %s=%q is not a number", key, s)
+		return def
+	}
+	if v < lo || v > hi {
+		p.fail("parameter %s=%v must be in [%g, %g]", key, v, lo, hi)
+		return def
+	}
+	return v
+}
+
+// Err returns the first accumulated parameter error, if any.
+func (p *Params) Err() error {
+	if len(p.errs) == 0 {
+		return nil
+	}
+	return p.errs[0]
+}

@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	sp, err := ParseSpec("layered:width=16,depth=32,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "layered" {
+		t.Fatalf("name = %q", sp.Name)
+	}
+	if v, ok := sp.Param("width"); !ok || v != "16" {
+		t.Fatalf("width = %q, %v", v, ok)
+	}
+	if got, want := sp.Canonical(), "layered:depth=32,seed=7,width=16"; got != want {
+		t.Fatalf("canonical = %q, want %q", got, want)
+	}
+
+	bare, err := ParseSpec("dedup")
+	if err != nil || bare.Name != "dedup" || bare.Canonical() != "dedup" {
+		t.Fatalf("bare spec: %+v, %v", bare, err)
+	}
+}
+
+func TestParseSpecCanonicalOrderInsensitive(t *testing.T) {
+	a, err := ParseSpec("layered:width=16,depth=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec("layered: depth=32, width=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical forms differ: %q vs %q", a.Canonical(), b.Canonical())
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, s := range []string{
+		"",                        // empty name
+		":width=1",                // empty name with params
+		"layered:",                // dangling colon
+		"layered:width",           // not key=val
+		"layered:=16",             // empty key
+		"layered:width=1,width=2", // duplicate key
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+func TestBuildRejectsBadSpecs(t *testing.T) {
+	for _, s := range []string{
+		"nope",                // unknown workload
+		"layered:bogus=1",     // undocumented parameter
+		"layered:width=zero",  // non-integer value
+		"layered:width=0",     // below minimum
+		"layered:memfrac=1.5", // out of range
+		"dedup:width=4",       // paper benchmark has no width
+		"trace",               // file-backed without file
+		"chain:scale=2",       // reserved scale out of range
+		"chain:scale=0",       // zero scale would silently mean full scale
+	} {
+		if _, err := Build(s, 42, 1.0); err == nil {
+			t.Errorf("Build(%q) accepted", s)
+		}
+	}
+}
+
+func TestBuildSeedParamOverridesRunSeed(t *testing.T) {
+	base := mustBuild(t, "chain:length=5,side=1", 42, 1.0)
+	pinned := mustBuild(t, "chain:length=5,side=1,seed=42", 7, 1.0)
+	if !sameProgram(base, pinned) {
+		t.Fatal("seed=42 param did not override the run seed")
+	}
+	other := mustBuild(t, "chain:length=5,side=1", 7, 1.0)
+	if sameProgram(base, other) {
+		t.Fatal("different run seeds produced identical programs")
+	}
+}
+
+func TestBuildPaperBenchmarksMatchLegacyPath(t *testing.T) {
+	for _, w := range All() {
+		legacy := w.Build(1337, 0.2)
+		viaRegistry := mustBuild(t, w.Name(), 1337, 0.2)
+		if !sameProgram(legacy, viaRegistry) {
+			t.Fatalf("%s: registry build differs from Workload.Build", w.Name())
+		}
+	}
+}
+
+func TestListOrdering(t *testing.T) {
+	es := List()
+	var names []string
+	for _, e := range es {
+		names = append(names, e.Name)
+	}
+	joined := strings.Join(names, " ")
+	wantPrefix := "blackscholes swaptions fluidanimate bodytrack dedup ferret"
+	if !strings.HasPrefix(joined, wantPrefix) {
+		t.Fatalf("paper benchmarks not first in paper order: %s", joined)
+	}
+	rest := names[6:]
+	for i := 1; i < len(rest); i++ {
+		if rest[i-1] >= rest[i] {
+			t.Fatalf("non-paper entries not alphabetical: %v", rest)
+		}
+	}
+}
+
+func TestCacheTokenCanonicalizes(t *testing.T) {
+	a, err := CacheToken("layered:width=16,depth=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CacheToken("layered:depth=32,width=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("parameter order changed the cache token: %q vs %q", a, b)
+	}
+	c, err := CacheToken("layered:depth=32,width=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different parameters share a cache token")
+	}
+}
+
+func TestCacheTokenHashesFileContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.dot")
+	write := func(s string) {
+		if err := os.WriteFile(path, []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("digraph g {\n  a -> b;\n}\n")
+	tok1, err := CacheToken("dot:file=" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("digraph g {\n  a -> b;\n  b -> c;\n}\n")
+	tok2, err := CacheToken("dot:file=" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok1 == tok2 {
+		t.Fatal("editing the file did not change the cache token")
+	}
+	if _, err := CacheToken("dot:file=" + filepath.Join(dir, "missing.dot")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

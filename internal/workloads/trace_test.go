@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cata/internal/program"
+	"cata/internal/tdg"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// causallyOrdered reports whether every task's input tokens were written
+// by an earlier task — the property program order must have for the
+// OmpSs dependence resolution to reconstruct the intended edges.
+func causallyOrdered(p *program.Program) bool {
+	written := map[tdg.Token]bool{}
+	for _, it := range p.Items {
+		if it.Task == nil {
+			continue
+		}
+		for _, in := range it.Task.Ins {
+			if !written[in] {
+				return false
+			}
+		}
+		for _, out := range it.Task.Outs {
+			written[out] = true
+		}
+	}
+	return true
+}
+
+// TestDOTImportForwardReferences: a digraph that mentions a successor
+// before its predecessor still lowers to a causally ordered program —
+// the c -> a edge must survive, not be dropped by read-before-write.
+func TestDOTImportForwardReferences(t *testing.T) {
+	path := writeTemp(t, "fwd.dot", `digraph g {
+  a -> b;
+  c -> a;
+}
+`)
+	p, err := Build("dot:file="+path, 42, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tasks() != 3 {
+		t.Fatalf("got %d tasks, want 3", p.Tasks())
+	}
+	if !causallyOrdered(p) {
+		t.Fatal("forward-referenced edge was dropped: program is not causally ordered")
+	}
+}
+
+// TestDOTImportRejectsCycles: a cyclic digraph is not a task graph.
+func TestDOTImportRejectsCycles(t *testing.T) {
+	path := writeTemp(t, "cycle.dot", `digraph g {
+  a -> b;
+  b -> c;
+  c -> a;
+}
+`)
+	if _, err := Build("dot:file="+path, 42, 1.0); err == nil {
+		t.Fatal("cyclic digraph accepted")
+	}
+}
+
+// TestDOTImportDefaultCosts: nodes without cost attributes get the
+// dur/memfrac defaults; nodes with attributes keep them.
+func TestDOTImportDefaultCosts(t *testing.T) {
+	path := writeTemp(t, "mixed.dot", `digraph g {
+  a [cycles=123 mem_ps=45 io_ps=6 type="x" criticality=1];
+  a -> b;
+}
+`)
+	p, err := Build("dot:file="+path+",dur=100,memfrac=0.5", 42, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b *program.TaskSpec
+	for _, it := range p.Items {
+		switch it.Task.Type.Name {
+		case "x":
+			a = it.Task
+		default:
+			b = it.Task
+		}
+	}
+	if a == nil || b == nil {
+		t.Fatalf("tasks missing: %+v", p.Items)
+	}
+	if a.CPUCycles != 123 || int64(a.MemTime) != 45 || int64(a.IOTime) != 6 || a.Type.Criticality != 1 {
+		t.Fatalf("explicit costs lost: %+v", a)
+	}
+	if b.CPUCycles == 0 && b.MemTime == 0 {
+		t.Fatalf("default costs not applied: %+v", b)
+	}
+}
+
+// TestTraceImportMatchesExport: the trace workload reproduces an
+// exported program exactly.
+func TestTraceImportMatchesExport(t *testing.T) {
+	orig := mustBuild(t, "pipeline:items=6,stages=3", 7, 1.0)
+	path := filepath.Join(t.TempDir(), "p.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := program.WriteJSON(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	replay := mustBuild(t, "trace:file="+path, 42, 1.0)
+	if !sameProgram(orig, replay) {
+		t.Fatal("trace import does not reproduce the exported program")
+	}
+}

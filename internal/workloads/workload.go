@@ -1,14 +1,24 @@
-// Package workloads generates synthetic task graphs reproducing the
-// structural properties of the six PARSECSs benchmarks the paper evaluates
-// (§IV): blackscholes and swaptions (fork-join), fluidanimate (3D stencil),
-// and bodytrack, dedup and ferret (pipelines).
+// Package workloads is the scenario engine: a registry of named,
+// parameterized task-graph constructors that every CLI and the public
+// API resolve workload specs against ("dedup",
+// "layered:seed=7,width=16,depth=32", "trace:file=capture.json").
 //
-// We do not ship PARSEC code or inputs (DESIGN.md §2). Each generator
-// reproduces the published characteristics the paper's analysis relies on:
-// the parallelism pattern, the task-type count and criticality annotations,
-// inter-type duration ratios (bodytrack's order-of-magnitude spread),
-// IO-bound critical stages (dedup/ferret writers), task granularity and
-// load imbalance. All draws come from seeded deterministic streams.
+// Three families are registered. First, generators for the six PARSECSs
+// benchmarks the paper evaluates (§IV): blackscholes and swaptions
+// (fork-join), fluidanimate (3D stencil), and bodytrack, dedup and
+// ferret (pipelines). We do not ship PARSEC code or inputs (DESIGN.md
+// §2); each generator reproduces the published characteristics the
+// paper's analysis relies on — the parallelism pattern, criticality
+// annotations, inter-type duration ratios, IO-bound critical stages,
+// granularity and imbalance. Second, five seeded synthetic DAG shapes
+// (layered, forkjoin, pipeline, wavefront, chain) with tunable width,
+// depth and cost skew, for exploring the criticality space beyond
+// hand-picked graphs. Third, importers that replay externally captured
+// task graphs from JSON traces or Graphviz DOT files.
+//
+// All draws come from seeded deterministic streams (internal/xrand): the
+// same spec and seed always generate a byte-identical program, which is
+// what makes batch sweeps resumable and cache keys content-addressed.
 package workloads
 
 import (
