@@ -2,7 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt fmt-check smoke docs-check ci
+# bench-check knobs: where the fresh capture lands, which baseline gates
+# it, the relative tolerance for ns/op and allocs/op, and which gates
+# bind (all, or portable = allocs/op + checksums — what CI uses, since
+# the committed baseline's ns/op came from different hardware).
+BENCH_OUT ?= /tmp/cata-bench/BENCH_check.json
+BENCH_BASE ?= BENCH_1.json
+BENCH_TOL ?= 0.15
+BENCH_GATE ?= all
+
+.PHONY: all build test bench bench-capture bench-check vet fmt fmt-check smoke docs-check ci
 
 all: build
 
@@ -14,6 +23,20 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Records the next BENCH_<n>.json in the repo root (the committed bench
+# trajectory; see README "Benchmarking").
+bench-capture:
+	$(GO) run ./cmd/catabench
+
+# Captures to BENCH_OUT and gates it against the committed baseline:
+# fails on >BENCH_TOL ns/op or allocs/op regression, or any checksum
+# drift. Timings are machine-dependent — regenerate the baseline on your
+# hardware before trusting the ns/op gate locally.
+bench-check:
+	@mkdir -p $(dir $(BENCH_OUT))
+	$(GO) run ./cmd/catabench -out $(BENCH_OUT)
+	$(GO) run ./cmd/catabench -compare $(BENCH_BASE) -against $(BENCH_OUT) -tol $(BENCH_TOL) -gate $(BENCH_GATE)
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cata/internal/perf"
+)
+
+// TestCaptureAndCompare drives the capture and compare paths end to end
+// at a tiny scale: two captures of the same code must gate clean against
+// each other.
+func TestCaptureAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	if code := runCapture(dir, "", 0.02, 7, time.Millisecond, true); code != 0 {
+		t.Fatalf("first capture exited %d", code)
+	}
+	out := filepath.Join(dir, "explicit.json")
+	if code := runCapture(dir, out, 0.02, 7, time.Millisecond, true); code != 0 {
+		t.Fatalf("second capture exited %d", code)
+	}
+	base := filepath.Join(dir, "BENCH_1.json")
+	if _, err := os.Stat(base); err != nil {
+		t.Fatalf("auto-numbered capture missing: %v", err)
+	}
+	// Identical-code captures: checksums must match; the portable gate
+	// waives ns/op, which is noisy at millisecond benchtime.
+	if code := runCompare(base, out, 5.0, "portable"); code != 0 {
+		t.Fatalf("self-compare exited %d", code)
+	}
+	// A checksum mismatch must gate even at infinite tolerance.
+	f, err := perf.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Results {
+		if f.Results[i].Kind == perf.KindChecksum {
+			f.Results[i].Checksum = "0000000000000000"
+			break
+		}
+	}
+	broken := filepath.Join(dir, "broken.json")
+	if err := f.Write(broken); err != nil {
+		t.Fatal(err)
+	}
+	if code := runCompare(base, broken, 1000, "portable"); code == 0 {
+		t.Fatal("checksum drift not gated even by the portable gate")
+	}
+}

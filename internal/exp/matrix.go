@@ -57,14 +57,7 @@ func (s MatrixSpec) withDefaults() MatrixSpec {
 
 // defaultWorkloads are the paper's six benchmarks, taken from the
 // workload registry rather than a third hand-maintained list.
-func defaultWorkloads() []string {
-	ws := workloads.All()
-	names := make([]string, len(ws))
-	for i, w := range ws {
-		names[i] = w.Name()
-	}
-	return names
-}
+func defaultWorkloads() []string { return workloads.Names() }
 
 // RunMatrix executes the matrix (FIFO baselines are added automatically)
 // in parallel and assembles normalized results.

@@ -54,11 +54,24 @@ type Core struct {
 	dvfs  *DVFSController
 	meter *energy.Meter
 
-	state CoreState
-	seg   *segment
+	state     CoreState
+	seg       segment // the (single) in-flight Exec segment
+	segActive bool
 
 	idleTimer sim.Handle // pending spin→halt or halt→sleep demotion
 	wakeCb    func()
+	haltDone  func() // continuation of the in-flight HaltFor
+
+	// Event callbacks allocated once at construction. A core schedules
+	// thousands of events per simulated millisecond; handing the engine
+	// the same bound closures instead of fresh ones keeps the scheduling
+	// hot path allocation-free.
+	finishSegCb  func()
+	demoteHaltCb func()
+	demoteSleepC func()
+	wakeDoneCb   func()
+	haltWakeCb   func()
+	haltDoneCb   func()
 
 	onHalt func(core int) // machine-level listeners (TurboMode)
 	onWake func(core int)
@@ -81,6 +94,12 @@ type segment struct {
 
 func newCore(id int, eng *sim.Engine, cfg *Config, dvfs *DVFSController, meter *energy.Meter) *Core {
 	c := &Core{id: id, eng: eng, cfg: cfg, dvfs: dvfs, meter: meter, state: IdleSpin}
+	c.finishSegCb = c.finishSegment
+	c.demoteHaltCb = c.demoteToHalt
+	c.demoteSleepC = c.demoteToSleep
+	c.wakeDoneCb = c.wakeDone
+	c.haltWakeCb = c.haltWake
+	c.haltDoneCb = c.haltFinish
 	c.armIdleDemotion()
 	return c
 }
@@ -149,7 +168,7 @@ func (c *Core) Exec(cycles int64, fixed sim.Time, done func()) {
 	if c.state == Halted || c.state == Sleeping || c.state == Waking {
 		panic(fmt.Sprintf("machine: Exec on core %d in state %v", c.id, c.state))
 	}
-	if c.seg != nil {
+	if c.segActive {
 		panic(fmt.Sprintf("machine: Exec on core %d with segment in flight", c.id))
 	}
 	if cycles < 0 || fixed < 0 {
@@ -157,10 +176,10 @@ func (c *Core) Exec(cycles int64, fixed sim.Time, done func()) {
 	}
 	c.cancelIdleTimer()
 	c.execSegments++
-	seg := &segment{cycles: cycles, fixed: fixed, done: done}
-	c.seg = seg
+	c.seg = segment{cycles: cycles, fixed: fixed, done: done}
+	c.segActive = true
 	c.setState(Busy)
-	c.startSegment(seg)
+	c.startSegment()
 }
 
 // BusyWait runs a purely frequency-invariant active wait (e.g. blocking on
@@ -168,21 +187,26 @@ func (c *Core) Exec(cycles int64, fixed sim.Time, done func()) {
 // calls done.
 func (c *Core) BusyWait(d sim.Time, done func()) { c.Exec(0, d, done) }
 
-func (c *Core) startSegment(seg *segment) {
+func (c *Core) startSegment() {
+	seg := &c.seg
 	seg.started = c.eng.Now()
 	seg.duration = sim.Cycles(seg.cycles, c.Freq()) + seg.fixed
-	seg.end = c.eng.After(seg.duration, func() { c.finishSegment(seg) })
+	seg.end = c.eng.After(seg.duration, c.finishSegCb)
 }
 
-func (c *Core) finishSegment(seg *segment) {
-	if c.seg != seg {
+func (c *Core) finishSegment() {
+	if !c.segActive {
+		// A rescheduled segment cancels its old completion event; with
+		// generation-checked handles a stale completion can never fire.
 		panic("machine: stale segment completion")
 	}
-	c.seg = nil
+	done := c.seg.done
+	c.segActive = false
+	c.seg = segment{}
 	// done() runs at the completion timestamp; the runtime immediately
 	// either Execs again, Idles, or HaltsFor. The core stays Busy across
 	// the (zero-duration) callback.
-	seg.done()
+	done()
 }
 
 // onFreqChange rescales the in-flight segment onto the new frequency.
@@ -191,8 +215,8 @@ func (c *Core) finishSegment(seg *segment) {
 // p of that duration, p of each component is consumed.
 func (c *Core) onFreqChange() {
 	c.meter.SetState(c.id, c.dvfs.Actual(c.id), c.cstate())
-	seg := c.seg
-	if seg == nil || seg.duration == 0 {
+	seg := &c.seg
+	if !c.segActive || seg.duration == 0 {
 		return
 	}
 	elapsed := c.eng.Now() - seg.started
@@ -203,14 +227,14 @@ func (c *Core) onFreqChange() {
 	seg.cycles -= int64(frac * float64(seg.cycles))
 	seg.fixed -= sim.Time(frac * float64(seg.fixed))
 	seg.end.Cancel()
-	c.startSegment(seg)
+	c.startSegment()
 }
 
 // Idle puts the core into the runtime idle loop. After Config.IdleSpin it
 // halts (C1, notifying the halt listener), and after Config.SleepAfter in
 // C1 it is demoted to C3.
 func (c *Core) Idle() {
-	if c.seg != nil {
+	if c.segActive {
 		panic(fmt.Sprintf("machine: Idle on busy core %d", c.id))
 	}
 	c.setState(IdleSpin)
@@ -219,7 +243,7 @@ func (c *Core) Idle() {
 
 func (c *Core) armIdleDemotion() {
 	c.cancelIdleTimer()
-	c.idleTimer = c.eng.After(c.cfg.IdleSpin, c.demoteToHalt)
+	c.idleTimer = c.eng.After(c.cfg.IdleSpin, c.demoteHaltCb)
 }
 
 func (c *Core) demoteToHalt() {
@@ -228,7 +252,7 @@ func (c *Core) demoteToHalt() {
 	}
 	c.setState(Halted)
 	c.haltCount++
-	c.idleTimer = c.eng.After(c.cfg.SleepAfter, c.demoteToSleep)
+	c.idleTimer = c.eng.After(c.cfg.SleepAfter, c.demoteSleepC)
 	if c.onHalt != nil {
 		c.onHalt(c.id)
 	}
@@ -265,19 +289,21 @@ func (c *Core) Wake(ready func()) {
 		c.cancelIdleTimer()
 		c.setState(Waking)
 		c.wakeCb = ready
-		c.eng.After(lat, func() {
-			c.setState(IdleSpin)
-			c.armIdleDemotion()
-			cb := c.wakeCb
-			c.wakeCb = nil
-			if c.onWake != nil {
-				c.onWake(c.id)
-			}
-			cb()
-		})
+		c.eng.After(lat, c.wakeDoneCb)
 	default:
 		panic(fmt.Sprintf("machine: Wake on core %d in state %v", c.id, c.state))
 	}
+}
+
+func (c *Core) wakeDone() {
+	c.setState(IdleSpin)
+	c.armIdleDemotion()
+	cb := c.wakeCb
+	c.wakeCb = nil
+	if c.onWake != nil {
+		c.onWake(c.id)
+	}
+	cb()
 }
 
 // HaltFor models a blocking kernel service inside a task (IO, page-fault
@@ -285,7 +311,7 @@ func (c *Core) Wake(ready func()) {
 // this is the situation where TurboMode reclaims budget, §V-D), then wakes
 // and calls done after the wake latency.
 func (c *Core) HaltFor(d sim.Time, done func()) {
-	if c.seg != nil {
+	if c.segActive {
 		panic(fmt.Sprintf("machine: HaltFor on core %d with segment in flight", c.id))
 	}
 	if d < 0 {
@@ -294,20 +320,27 @@ func (c *Core) HaltFor(d sim.Time, done func()) {
 	c.cancelIdleTimer()
 	c.setState(Halted)
 	c.haltCount++
+	c.haltDone = done
 	if c.onHalt != nil {
 		c.onHalt(c.id)
 	}
-	c.eng.After(d, func() {
-		if c.state != Halted {
-			panic(fmt.Sprintf("machine: core %d left Halted during HaltFor", c.id))
-		}
-		c.setState(Waking)
-		c.eng.After(c.cfg.WakeLatencyC1, func() {
-			c.setState(Busy)
-			if c.onWake != nil {
-				c.onWake(c.id)
-			}
-			done()
-		})
-	})
+	c.eng.After(d, c.haltWakeCb)
+}
+
+func (c *Core) haltWake() {
+	if c.state != Halted {
+		panic(fmt.Sprintf("machine: core %d left Halted during HaltFor", c.id))
+	}
+	c.setState(Waking)
+	c.eng.After(c.cfg.WakeLatencyC1, c.haltDoneCb)
+}
+
+func (c *Core) haltFinish() {
+	c.setState(Busy)
+	done := c.haltDone
+	c.haltDone = nil
+	if c.onWake != nil {
+		c.onWake(c.id)
+	}
+	done()
 }

@@ -1,0 +1,144 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Delta is one compared metric of one suite entry.
+type Delta struct {
+	// Name is the entry name, Metric the compared metric ("ns/op",
+	// "allocs/op", "checksum").
+	Name, Metric string
+	// Old and New are the metric values (zero for checksums).
+	Old, New float64
+	// OldSum and NewSum carry the digests for checksum deltas.
+	OldSum, NewSum string
+	// Ratio is New/Old for numeric metrics.
+	Ratio float64
+	// Regression marks deltas beyond the tolerance gate.
+	Regression bool
+	// Ignored marks deltas that exceeded the gate but were waived via
+	// IgnoreMetric.
+	Ignored bool
+}
+
+// Report is the outcome of comparing two captures.
+type Report struct {
+	// Deltas lists every compared metric, suite order, regressions
+	// included.
+	Deltas []Delta
+	// Missing lists entries present in only one capture. Entries that
+	// were in the baseline but vanished from the capture count as
+	// regressions — silently losing coverage must not pass the gate.
+	// Entries new in the capture are informational.
+	Missing []string
+	// Regressions counts failing deltas (including dropped entries).
+	Regressions int
+}
+
+// Compare gates capture new against baseline old. Numeric metrics
+// (ns/op, allocs/op) regress when new > old*(1+tol); checksums regress
+// on any mismatch. Captures must agree on schema, scale and seed —
+// entries are only comparable when they measured the same work.
+func Compare(base, cur *File, tol float64) (*Report, error) {
+	if base.Scale != cur.Scale || base.Seed != cur.Seed {
+		return nil, fmt.Errorf("perf: captures not comparable: baseline scale=%g seed=%d vs scale=%g seed=%d",
+			base.Scale, base.Seed, cur.Scale, cur.Seed)
+	}
+	if tol < 0 {
+		return nil, fmt.Errorf("perf: negative tolerance %g", tol)
+	}
+	oldByName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		oldByName[r.Name] = r
+	}
+	rep := &Report{}
+	seen := make(map[string]bool, len(cur.Results))
+	for _, nr := range cur.Results {
+		seen[nr.Name] = true
+		or, ok := oldByName[nr.Name]
+		if !ok {
+			rep.Missing = append(rep.Missing, nr.Name+" (not in baseline)")
+			continue
+		}
+		switch nr.Kind {
+		case KindBench:
+			rep.add(numericDelta(nr.Name, "ns/op", or.NsPerOp, nr.NsPerOp, tol))
+			rep.add(numericDelta(nr.Name, "allocs/op", float64(or.AllocsPerOp), float64(nr.AllocsPerOp), tol))
+		case KindChecksum:
+			d := Delta{Name: nr.Name, Metric: "checksum", OldSum: or.Checksum, NewSum: nr.Checksum}
+			d.Regression = or.Checksum != nr.Checksum
+			rep.add(d)
+		}
+	}
+	for _, or := range base.Results {
+		if !seen[or.Name] {
+			rep.Missing = append(rep.Missing, or.Name+" (dropped from capture)")
+			rep.Regressions++
+		}
+	}
+	return rep, nil
+}
+
+func numericDelta(name, metric string, base, cur, tol float64) Delta {
+	d := Delta{Name: name, Metric: metric, Old: base, New: cur}
+	if base > 0 {
+		d.Ratio = cur / base
+		d.Regression = d.Ratio > 1+tol
+	} else {
+		d.Ratio = 1
+		d.Regression = cur > 0 // baseline had none; any appearance regresses
+	}
+	return d
+}
+
+func (r *Report) add(d Delta) {
+	r.Deltas = append(r.Deltas, d)
+	if d.Regression {
+		r.Regressions++
+	}
+}
+
+// IgnoreMetric un-gates every delta of the given metric (it stays in the
+// report, marked ignored). CI uses it to drop the machine-dependent
+// "ns/op" gate when the baseline was captured on different hardware;
+// allocs/op and checksums remain binding.
+func (r *Report) IgnoreMetric(metric string) {
+	for i := range r.Deltas {
+		if r.Deltas[i].Metric == metric && r.Deltas[i].Regression {
+			r.Deltas[i].Regression = false
+			r.Deltas[i].Ignored = true
+			r.Regressions--
+		}
+	}
+}
+
+// Render formats the report as an aligned text table, regressions marked
+// with "REGRESSED".
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-10s %14s %14s %8s\n", "entry", "metric", "baseline", "current", "ratio")
+	for _, d := range r.Deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSED"
+		} else if d.Ignored {
+			mark = "  over tolerance (ignored)"
+		}
+		if d.Metric == "checksum" {
+			state := "match"
+			if d.OldSum != d.NewSum {
+				state = fmt.Sprintf("%s -> %s", d.OldSum, d.NewSum)
+			}
+			fmt.Fprintf(&b, "%-28s %-10s %38s%s\n", d.Name, d.Metric, state, mark)
+			continue
+		}
+		fmt.Fprintf(&b, "%-28s %-10s %14.1f %14.1f %7.3fx%s\n", d.Name, d.Metric, d.Old, d.New, d.Ratio, mark)
+	}
+	for _, m := range r.Missing {
+		fmt.Fprintf(&b, "missing: %s\n", m)
+	}
+	fmt.Fprintf(&b, "%d regression(s)\n", r.Regressions)
+	return b.String()
+}

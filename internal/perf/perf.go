@@ -1,0 +1,168 @@
+// Package perf is the performance-regression harness: it measures the
+// simulator's hot paths (the bench_test.go figure matrices, per-workload
+// runs, and event-engine microbenchmarks) at fixed seeds, captures
+// deterministic makespan checksums alongside the timings, and compares
+// two captures under a tolerance gate.
+//
+// The output is a schema-versioned BENCH_<n>.json file. Timings (ns/op)
+// are machine-dependent and gated with a relative tolerance; allocation
+// counts are effectively machine-independent for this single-threaded
+// simulator and gated with the same tolerance; checksums hash simulated
+// makespans and task counts, are bit-exact across machines, and any
+// mismatch is a hard failure — a speedup that changes simulation results
+// is a bug, not a win. cmd/catabench is the CLI; `make bench-check`
+// wires the compare gate against the committed baseline.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH file layout. Bump on breaking
+// changes to File or Result; Compare refuses mismatched schemas.
+const SchemaVersion = 1
+
+// File is one benchmark capture.
+type File struct {
+	// Schema is the file layout version (SchemaVersion at write time).
+	Schema int `json:"schema"`
+	// Created is the capture wall-clock time, RFC3339. Informational.
+	Created string `json:"created,omitempty"`
+	// Go, GOOS and GOARCH identify the toolchain and platform.
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// Scale and Seed are the workload parameters every entry ran at.
+	Scale float64 `json:"scale"`
+	Seed  uint64  `json:"seed"`
+	// Results are the capture entries, in suite order.
+	Results []Result `json:"results"`
+}
+
+// Result kinds.
+const (
+	// KindBench entries carry timing and allocation metrics.
+	KindBench = "bench"
+	// KindChecksum entries carry a deterministic simulation checksum.
+	KindChecksum = "checksum"
+)
+
+// Result is one suite entry: a benchmark measurement or a checksum.
+type Result struct {
+	// Name identifies the entry ("figure4/matrix", "checksum/CATA", ...).
+	Name string `json:"name"`
+	// Kind is KindBench or KindChecksum.
+	Kind string `json:"kind"`
+	// Iterations is the measured iteration count (bench only).
+	Iterations int `json:"iterations,omitempty"`
+	// NsPerOp is wall time per operation in nanoseconds (bench only).
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+	// AllocsPerOp is heap allocations per operation (bench only).
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// BytesPerOp is heap bytes allocated per operation (bench only).
+	BytesPerOp int64 `json:"bytes_per_op,omitempty"`
+	// EventsPerSec is simulated events fired per wall second, for entries
+	// that drive the event engine directly.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// Checksum is a 16-hex-digit FNV-1a digest of the deterministic
+	// simulation outputs (checksum only).
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// NewFile returns an empty capture stamped with the current platform.
+func NewFile(scale float64, seed uint64) *File {
+	return &File{
+		Schema:  SchemaVersion,
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		Scale:   scale,
+		Seed:    seed,
+	}
+}
+
+// Write writes the capture as indented JSON.
+func (f *File) Write(path string) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadFile loads a capture and validates its schema.
+func ReadFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if f.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s: schema %d, this build reads %d", path, f.Schema, SchemaVersion)
+	}
+	return &f, nil
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// NextBenchPath returns dir/BENCH_<n>.json with n one past the highest
+// existing capture number in dir (starting at 1), so successive captures
+// record the bench trajectory side by side.
+func NextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	max := 0
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		var n int
+		fmt.Sscanf(m[1], "%d", &n)
+		if n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1)), nil
+}
+
+// ListBenchFiles returns the BENCH_*.json files in dir in numeric order.
+func ListBenchFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var files []numbered
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		var n int
+		fmt.Sscanf(m[1], "%d", &n)
+		files = append(files, numbered{n, filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].n < files[j].n })
+	paths := make([]string, len(files))
+	for i, f := range files {
+		paths[i] = f.path
+	}
+	return paths, nil
+}

@@ -1,0 +1,62 @@
+package rts
+
+import "math/bits"
+
+// coreSet is a fixed-size bitset over core indices. The runtime keeps two:
+// the idle set (replacing the linear idle []bool scans in the wake path)
+// and the set of cores running critical tasks (replacing the per-idle scan
+// behind the §II-C static-binding counter). Word-at-a-time scanning makes
+// pickIdleCore O(cores/64) instead of O(cores) per wake on the hot path,
+// with identical selection semantics.
+type coreSet struct {
+	words []uint64
+	n     int
+}
+
+func newCoreSet(n int) *coreSet {
+	return &coreSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+func (s *coreSet) set(i int)      { s.words[i>>6] |= 1 << (uint(i) & 63) }
+func (s *coreSet) clear(i int)    { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+func (s *coreSet) has(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// empty reports whether no bit is set.
+func (s *coreSet) empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// next returns the first set bit at index >= from and < s.n, or -1.
+func (s *coreSet) next(from int) int {
+	if from >= s.n {
+		return -1
+	}
+	wi := from >> 6
+	w := s.words[wi] >> (uint(from) & 63)
+	if w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi<<6 + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// nextWrap returns the first set bit scanning circularly from `from`
+// (inclusive), or -1 if the set is empty.
+func (s *coreSet) nextWrap(from int) int {
+	if i := s.next(from); i >= 0 {
+		return i
+	}
+	if i := s.next(0); i >= 0 && i < from {
+		return i
+	}
+	return -1
+}

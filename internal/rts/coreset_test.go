@@ -1,0 +1,56 @@
+package rts
+
+import "testing"
+
+func TestCoreSetBasics(t *testing.T) {
+	s := newCoreSet(130) // spans three words
+	if !s.empty() {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 63, 64, 65, 129} {
+		s.set(i)
+		if !s.has(i) {
+			t.Fatalf("has(%d) false after set", i)
+		}
+	}
+	if s.empty() {
+		t.Fatal("set with bits reports empty")
+	}
+	s.clear(64)
+	if s.has(64) {
+		t.Fatal("has(64) true after clear")
+	}
+	want := []int{0, 63, 65, 129}
+	got := []int{}
+	for i := s.next(0); i >= 0; i = s.next(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iteration = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iteration = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCoreSetNextWrap(t *testing.T) {
+	s := newCoreSet(10)
+	if s.nextWrap(3) != -1 {
+		t.Fatal("nextWrap on empty set != -1")
+	}
+	s.set(2)
+	s.set(7)
+	cases := []struct{ from, want int }{
+		{0, 2}, {2, 2}, {3, 7}, {7, 7}, {8, 2}, {9, 2},
+	}
+	for _, c := range cases {
+		if got := s.nextWrap(c.from); got != c.want {
+			t.Errorf("nextWrap(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := s.next(8); got != -1 {
+		t.Errorf("next(8) = %d, want -1", got)
+	}
+}

@@ -54,10 +54,15 @@ type Runtime struct {
 	reconfig Reconfigurer
 	opts     Options
 
-	graph      *tdg.Graph
-	idle       []bool
-	running    []*tdg.Task
-	wakeCursor int
+	graph *tdg.Graph
+	// idle indexes the cores currently in the runtime idle set; critRunning
+	// indexes the cores currently running a critical task. Together they
+	// replace the linear idle[]/running[] scans on the wake and go-idle
+	// paths.
+	idle        *coreSet
+	critRunning *coreSet
+	percore     []coreRun
+	wakeCursor  int
 
 	creatorNext int
 	creatorDone bool
@@ -75,6 +80,24 @@ type Runtime struct {
 	retained      []*tdg.Task
 }
 
+// coreRun is one core's dispatch pipeline state. Every stage continuation
+// the runtime hands to the machine or the reconfigurer is allocated once
+// here, at construction; dispatching a task then costs zero closure
+// allocations no matter how many events it schedules.
+type coreRun struct {
+	r    *Runtime
+	core int
+	task *tdg.Task // task currently owned by this core's pipeline
+
+	workerCb     func() // enter workerLoop
+	dispatchedCb func() // scheduler cost paid -> reconfig TaskStart
+	startBodyCb  func() // reconfiguration done -> start the task body
+	bodyDoneCb   func() // body finished -> optional IO halt -> complete
+	completeCb   func() // IO done -> complete bookkeeping
+	endedCb      func() // reconfig TaskEnd done -> completion cost
+	finishedCb   func() // completion cost paid -> release successors, loop
+}
+
 // New builds a runtime from the configuration.
 func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 	if cfg.Machine == nil || cfg.Program == nil || cfg.NewScheduler == nil || cfg.Estimator == nil {
@@ -90,14 +113,27 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 		cfg.Reconfig = NoReconfig{}
 	}
 	r := &Runtime{
-		eng:      eng,
-		mach:     cfg.Machine,
-		prog:     cfg.Program,
-		est:      cfg.Estimator,
-		reconfig: cfg.Reconfig,
-		opts:     cfg.Options,
-		idle:     make([]bool, cfg.Machine.Cores()),
-		running:  make([]*tdg.Task, cfg.Machine.Cores()),
+		eng:         eng,
+		mach:        cfg.Machine,
+		prog:        cfg.Program,
+		est:         cfg.Estimator,
+		reconfig:    cfg.Reconfig,
+		opts:        cfg.Options,
+		idle:        newCoreSet(cfg.Machine.Cores()),
+		critRunning: newCoreSet(cfg.Machine.Cores()),
+	}
+	r.percore = make([]coreRun, cfg.Machine.Cores())
+	for i := range r.percore {
+		cs := &r.percore[i]
+		cs.r = r
+		cs.core = i
+		cs.workerCb = cs.worker
+		cs.dispatchedCb = cs.dispatched
+		cs.startBodyCb = cs.startBody
+		cs.bodyDoneCb = cs.bodyDone
+		cs.completeCb = cs.complete
+		cs.endedCb = cs.ended
+		cs.finishedCb = cs.finished
 	}
 	r.graph = tdg.New(r.onTaskReady)
 	r.schedq = cfg.NewScheduler(r)
@@ -122,10 +158,12 @@ func (r *Runtime) Tasks() []*tdg.Task { return r.retained }
 func (r *Runtime) IsFast(core int) bool { return r.mach.IsFastCore(core) }
 
 // AnyFastIdle implements sched.CoreInfo: whether any fast core is in the
-// runtime's idle set (CATS's stealing guard, §II-C).
+// runtime's idle set (CATS's stealing guard, §II-C). Only idle cores are
+// examined; core classes stay a live query because CATA reconfigures them
+// mid-run.
 func (r *Runtime) AnyFastIdle() bool {
-	for i, idle := range r.idle {
-		if idle && r.mach.IsFastCore(i) {
+	for i := r.idle.next(0); i >= 0; i = r.idle.next(i + 1) {
+		if r.mach.IsFastCore(i) {
 			return true
 		}
 	}
@@ -137,8 +175,7 @@ func (r *Runtime) AnyFastIdle() bool {
 // afterwards (the clock stops at the makespan).
 func (r *Runtime) Run() (Result, error) {
 	for i := 0; i < r.mach.Cores(); i++ {
-		i := i
-		r.eng.At(0, func() { r.workerLoop(i) })
+		r.eng.At(0, r.percore[i].workerCb)
 	}
 	if r.opts.MaxSimTime > 0 {
 		r.eng.At(r.opts.MaxSimTime, func() {
@@ -237,7 +274,7 @@ func (r *Runtime) creatorStep() {
 	visited := r.graph.Submit(t) // may fire onTaskReady synchronously
 	r.submitVisited += int64(visited)
 	cost := r.opts.CreateCycles + r.est.SubmitCostCycles(visited)
-	r.mach.Core(0).Exec(cost, 0, func() { r.workerLoop(0) })
+	r.mach.Core(0).Exec(cost, 0, r.percore[0].workerCb)
 }
 
 // onTaskReady is the graph callback: estimate criticality, enqueue, and
@@ -259,8 +296,8 @@ func (r *Runtime) wakeForTask(t *tdg.Task) {
 }
 
 func (r *Runtime) wakeWorker(core int) {
-	r.idle[core] = false
-	r.mach.Core(core).Wake(func() { r.workerLoop(core) })
+	r.idle.clear(core)
+	r.mach.Core(core).Wake(r.percore[core].workerCb)
 }
 
 // pickIdleCore selects which idle core to wake. With ClassAwareWake
@@ -275,35 +312,43 @@ func (r *Runtime) wakeWorker(core int) {
 // make the criticality-blind baselines accidentally criticality-aware.
 // Real runtimes wake whichever worker parked first; rotation is the
 // neutral stand-in.
+//
+// The scans walk only the idle set's bits (circularly from the cursor),
+// not every core, but visit candidates in exactly the rotation order the
+// original linear scan used.
 func (r *Runtime) pickIdleCore(t *tdg.Task) int {
-	n := len(r.idle)
+	n := r.mach.Cores()
+	cur := r.wakeCursor
 	if r.opts.ClassAwareWake && t.Critical {
-		for off := 0; off < n; off++ {
-			i := (r.wakeCursor + off) % n
-			if r.idle[i] && r.mach.IsFastCore(i) {
-				r.wakeCursor = i + 1
+		for i := r.idle.next(cur); i >= 0; i = r.idle.next(i + 1) {
+			if r.mach.IsFastCore(i) {
+				r.wakeCursor = (i + 1) % n
+				return i
+			}
+		}
+		for i := r.idle.next(0); i >= 0 && i < cur; i = r.idle.next(i + 1) {
+			if r.mach.IsFastCore(i) {
+				r.wakeCursor = (i + 1) % n
 				return i
 			}
 		}
 	}
-	for off := 0; off < n; off++ {
-		i := (r.wakeCursor + off) % n
-		if r.idle[i] {
-			r.wakeCursor = i + 1
-			return i
-		}
+	if i := r.idle.nextWrap(cur); i >= 0 {
+		r.wakeCursor = (i + 1) % n
+		return i
 	}
 	return -1
 }
 
 func (r *Runtime) goIdle(core int) {
-	r.idle[core] = true
+	r.idle.set(core)
 	// §II-C "static binding": a fast core going idle while a critical
 	// task is stuck on a slow core is exactly the situation a static
 	// heterogeneous machine cannot fix and CATA's reconfiguration can.
+	// Only cores currently running critical tasks are examined.
 	if r.mach.IsFastCore(core) {
-		for c, t := range r.running {
-			if t != nil && t.Critical && !r.mach.IsFastCore(c) {
+		for c := r.critRunning.next(0); c >= 0; c = r.critRunning.next(c + 1) {
+			if !r.mach.IsFastCore(c) {
 				r.staticBinding++
 				break
 			}
@@ -314,51 +359,68 @@ func (r *Runtime) goIdle(core int) {
 
 // dispatch runs one task on a core: scheduler cost, reconfiguration
 // (TaskStart), body, optional IO halt, reconfiguration (TaskEnd),
-// completion bookkeeping, then loop.
+// completion bookkeeping, then loop. The stages are the pre-allocated
+// continuations of the core's coreRun.
 func (r *Runtime) dispatch(core int, t *tdg.Task) {
-	c := r.mach.Core(core)
-	c.Exec(r.opts.DispatchCycles, 0, func() {
-		r.reconfig.TaskStart(core, t, func() {
-			r.graph.Start(t)
-			t.StartedAt = r.eng.Now()
-			t.Core = core
-			r.running[core] = t
-			r.readyWait.ObserveTime(t.StartedAt - t.ReadyAt)
-			if t.Critical {
-				r.critTasks++
-			}
-			c.Exec(t.CPUCycles, t.MemTime, func() {
-				if t.IOTime > 0 {
-					c.HaltFor(t.IOTime, func() { r.completeTask(core, t) })
-				} else {
-					r.completeTask(core, t)
-				}
-			})
-		})
-	})
+	cs := &r.percore[core]
+	cs.task = t
+	r.mach.Core(core).Exec(r.opts.DispatchCycles, 0, cs.dispatchedCb)
 }
 
-func (r *Runtime) completeTask(core int, t *tdg.Task) {
+func (cs *coreRun) worker() { cs.r.workerLoop(cs.core) }
+
+func (cs *coreRun) dispatched() {
+	cs.r.reconfig.TaskStart(cs.core, cs.task, cs.startBodyCb)
+}
+
+func (cs *coreRun) startBody() {
+	r, t := cs.r, cs.task
+	r.graph.Start(t)
+	t.StartedAt = r.eng.Now()
+	t.Core = cs.core
+	r.readyWait.ObserveTime(t.StartedAt - t.ReadyAt)
+	if t.Critical {
+		r.critTasks++
+		r.critRunning.set(cs.core)
+	}
+	r.mach.Core(cs.core).Exec(t.CPUCycles, t.MemTime, cs.bodyDoneCb)
+}
+
+func (cs *coreRun) bodyDone() {
+	if cs.task.IOTime > 0 {
+		cs.r.mach.Core(cs.core).HaltFor(cs.task.IOTime, cs.completeCb)
+	} else {
+		cs.complete()
+	}
+}
+
+func (cs *coreRun) complete() {
+	r, t := cs.r, cs.task
 	t.EndedAt = r.eng.Now()
-	r.running[core] = nil
-	r.reconfig.TaskEnd(core, t, func() {
-		r.mach.Core(core).Exec(r.opts.CompleteCycles, 0, func() {
-			r.graph.Complete(t) // releases successors; onTaskReady fires
-			r.tasksRun++
-			r.maybeWakeCreator()
-			if r.creatorDone && r.graph.AllDone() {
-				r.finish()
-				return
-			}
-			r.workerLoop(core)
-		})
-	})
+	r.critRunning.clear(cs.core)
+	r.reconfig.TaskEnd(cs.core, t, cs.endedCb)
+}
+
+func (cs *coreRun) ended() {
+	cs.r.mach.Core(cs.core).Exec(cs.r.opts.CompleteCycles, 0, cs.finishedCb)
+}
+
+func (cs *coreRun) finished() {
+	r := cs.r
+	r.graph.Complete(cs.task) // releases successors; onTaskReady fires
+	r.tasksRun++
+	r.maybeWakeCreator()
+	if r.creatorDone && r.graph.AllDone() {
+		r.finish()
+		return
+	}
+	r.workerLoop(cs.core)
 }
 
 // maybeWakeCreator wakes core 0 when the master thread was blocked
 // (barrier or throttle) and can now make progress.
 func (r *Runtime) maybeWakeCreator() {
-	if !r.creatorDone && r.creatorRunnable() && r.idle[0] {
+	if !r.creatorDone && r.creatorRunnable() && r.idle.has(0) {
 		r.wakeWorker(0)
 	}
 }

@@ -3,42 +3,59 @@ package sched
 import "cata/internal/tdg"
 
 // Queue is a FIFO ready queue of tasks, the building block of every
-// scheduler here. It is a slice-backed deque; the simulator is
-// single-threaded so no locking is needed (the *cost* of the real
-// runtime's locking is modeled separately in internal/cpufreq and
+// scheduler here. It is a power-of-two ring buffer: Push and Pop are O(1)
+// with no per-element shifting or periodic compaction, and a drained
+// queue's storage is reused forever instead of growing with total tasks.
+// The simulator is single-threaded so no locking is needed (the *cost* of
+// the real runtime's locking is modeled separately in internal/cpufreq and
 // internal/rsm where the paper locates it).
 type Queue struct {
-	items []*tdg.Task
-	head  int
+	buf  []*tdg.Task
+	head int // index of the oldest element
+	n    int // number of queued elements
 }
 
 // Push appends a task.
-func (q *Queue) Push(t *tdg.Task) { q.items = append(q.items, t) }
+func (q *Queue) Push(t *tdg.Task) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = t
+	q.n++
+}
+
+func (q *Queue) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 16
+	}
+	buf := make([]*tdg.Task, newCap)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
+}
 
 // Pop removes and returns the oldest task, or nil if empty.
 func (q *Queue) Pop() *tdg.Task {
-	if q.head >= len(q.items) {
+	if q.n == 0 {
 		return nil
 	}
-	t := q.items[q.head]
-	q.items[q.head] = nil
-	q.head++
-	// Compact occasionally so memory does not grow with total tasks.
-	if q.head > 64 && q.head*2 >= len(q.items) {
-		n := copy(q.items, q.items[q.head:])
-		q.items = q.items[:n]
-		q.head = 0
-	}
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
 	return t
 }
 
 // Peek returns the oldest task without removing it, or nil.
 func (q *Queue) Peek() *tdg.Task {
-	if q.head >= len(q.items) {
+	if q.n == 0 {
 		return nil
 	}
-	return q.items[q.head]
+	return q.buf[q.head]
 }
 
 // Len returns the number of queued tasks.
-func (q *Queue) Len() int { return len(q.items) - q.head }
+func (q *Queue) Len() int { return q.n }

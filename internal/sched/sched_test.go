@@ -82,6 +82,27 @@ func TestQueueInterleavedCompaction(t *testing.T) {
 	}
 }
 
+// TestQueueSteadyStateNoGrowth: a bounded standing queue must not grow
+// storage with total throughput (the ring reuses its buffer).
+func TestQueueSteadyStateNoGrowth(t *testing.T) {
+	var q Queue
+	for i := 0; i < 8; i++ {
+		q.Push(plainTask(i))
+	}
+	want := 0
+	for i := 8; i < 100000; i++ {
+		q.Push(plainTask(i))
+		got := q.Pop()
+		if got == nil || got.ID != want {
+			t.Fatalf("Pop = %v, want ID %d", got, want)
+		}
+		want++
+	}
+	if cap := len(q.buf); cap > 64 {
+		t.Fatalf("ring buffer grew to %d slots for a depth-9 queue", cap)
+	}
+}
+
 func TestStaticAnnotationsEstimate(t *testing.T) {
 	var sa StaticAnnotations
 	g := tdg.New(nil)

@@ -15,6 +15,16 @@ import "fmt"
 // charge the dynamic criticality estimator's exploration cost (§II-B:
 // "exploring the TDG every time a task is created can become costly").
 //
+// The bottom-level walk is memoized in two ways. Completed ancestors are
+// never re-walked: a Done task can neither become critical again nor
+// contribute to MaxLiveBL, and every ancestor of a Done task is itself
+// Done, so the estimator caches completed suffixes and the upward
+// propagation prunes there instead of re-walking them on every submission
+// of a dense region. Within one submission, the walk frontier is
+// deduplicated, so a shared predecessor's edges are examined once per
+// raise rather than once per path reaching it. SubmitVisited counts the
+// nodes the memoized walk actually examines.
+//
 // Graph is not safe for concurrent use; the simulation is single-threaded.
 type Graph struct {
 	onReady func(*Task)
@@ -27,8 +37,14 @@ type Graph struct {
 
 	// blCount[v] = number of live (not Done) tasks with BottomLevel v,
 	// used to answer MaxLiveBL exactly.
-	blCount map[int64]int
+	blCount []int32
 	maxBL   int64
+
+	// epoch stamps Task.mark for allocation-free per-submission dedup
+	// (dependence resolution and the raise frontier); stack is the
+	// reusable raise-walk worklist.
+	epoch uint64
+	stack []*Task
 }
 
 // New returns an empty graph. onReady is invoked (synchronously, in
@@ -38,7 +54,6 @@ func New(onReady func(*Task)) *Graph {
 		onReady: onReady,
 		writers: make(map[Token]*Task),
 		readers: make(map[Token][]*Task),
-		blCount: make(map[int64]int),
 	}
 }
 
@@ -57,8 +72,10 @@ func (g *Graph) AllDone() bool { return g.submitted == g.completed }
 // Submit adds a task in program order, resolving its dependences. It
 // returns the number of TDG nodes visited while updating bottom levels
 // (>= 1), the quantity the bottom-level estimator's overhead is charged
-// on. If the task has no unresolved dependences it becomes Ready
-// immediately and onReady fires before Submit returns.
+// on. The count reflects the memoized walk: completed suffixes and
+// already-frontier nodes are not re-visited. If the task has no
+// unresolved dependences it becomes Ready immediately and onReady fires
+// before Submit returns.
 func (g *Graph) Submit(t *Task) (visited int) {
 	if t.state != Waiting || t.nwait != 0 || len(t.preds) > 0 {
 		panic(fmt.Sprintf("tdg: resubmission of %v", t))
@@ -66,24 +83,16 @@ func (g *Graph) Submit(t *Task) (visited int) {
 	g.submitted++
 
 	// Resolve dependences. A predecessor may appear through several
-	// data; dedupe so nwait counts distinct tasks.
-	seen := make(map[*Task]bool)
-	addEdge := func(pred *Task) {
-		if pred == nil || pred == t || pred.state == Done || seen[pred] {
-			return
-		}
-		seen[pred] = true
-		t.preds = append(t.preds, pred)
-		pred.succs = append(pred.succs, t)
-		t.nwait++
-	}
+	// data; dedupe (epoch-stamped marks, no per-submit allocation) so
+	// nwait counts distinct tasks.
+	g.epoch++
 	for _, d := range t.Ins {
-		addEdge(g.writers[d])
+		g.addEdge(t, g.writers[d])
 	}
 	for _, d := range t.Outs {
-		addEdge(g.writers[d])
+		g.addEdge(t, g.writers[d])
 		for _, r := range g.readers[d] {
-			addEdge(r)
+			g.addEdge(t, r)
 		}
 	}
 	// Register accesses: readers accumulate until the next writer.
@@ -98,7 +107,7 @@ func (g *Graph) Submit(t *Task) (visited int) {
 	// The new task is a leaf: BottomLevel 0. Its predecessors' bottom
 	// levels may grow; propagate upward.
 	t.BottomLevel = 0
-	g.blCount[0]++
+	g.incBL(0)
 	visited = 1 + g.raiseBL(t)
 
 	if t.nwait == 0 {
@@ -107,45 +116,77 @@ func (g *Graph) Submit(t *Task) (visited int) {
 	return visited
 }
 
+// addEdge records a dependence of t on pred, deduplicating via the
+// current submission epoch.
+func (g *Graph) addEdge(t, pred *Task) {
+	if pred == nil || pred == t || pred.state == Done || pred.mark == g.epoch {
+		return
+	}
+	pred.mark = g.epoch
+	t.preds = append(t.preds, pred)
+	pred.succs = append(pred.succs, t)
+	t.nwait++
+}
+
 // raiseBL propagates a bottom-level increase from t to its ancestors,
-// returning the number of nodes visited (excluding t itself).
+// returning the number of nodes visited (excluding t itself). Completed
+// ancestors are pruned — their bottom levels are dead state the memoized
+// estimator never consults again — and a node already on the worklist is
+// not pushed twice, so its predecessor edges are examined once with the
+// highest level reached rather than once per raise.
 func (g *Graph) raiseBL(t *Task) int {
 	visited := 0
-	stack := []*Task{t}
+	g.epoch++
+	onStack := g.epoch
+	stack := g.stack[:0]
+	stack = append(stack, t)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		n.mark = 0 // off the worklist; may be re-pushed by a later raise
 		need := n.BottomLevel + 1
 		for _, p := range n.preds {
+			if p.state == Done {
+				continue // memoized: dead suffix, nothing live above it
+			}
 			visited++
 			if p.BottomLevel < need {
 				g.setBL(p, need)
-				stack = append(stack, p)
+				if p.mark != onStack {
+					p.mark = onStack
+					stack = append(stack, p)
+				}
 			}
 		}
 	}
+	g.stack = stack[:0]
 	return visited
 }
 
+// setBL moves a live task between blCount buckets. Done tasks never
+// reach here: raiseBL prunes them, so their bottom levels stay frozen at
+// completion and are never counted.
 func (g *Graph) setBL(t *Task, v int64) {
-	if t.state != Done {
-		g.decBL(t.BottomLevel)
-		g.blCount[v]++
-		if v > g.maxBL {
-			g.maxBL = v
-		}
-	}
+	g.decBL(t.BottomLevel)
+	g.incBL(v)
 	t.BottomLevel = v
+}
+
+func (g *Graph) incBL(v int64) {
+	for int64(len(g.blCount)) <= v {
+		g.blCount = append(g.blCount, 0)
+	}
+	g.blCount[v]++
+	if v > g.maxBL {
+		g.maxBL = v
+	}
 }
 
 func (g *Graph) decBL(v int64) {
 	g.blCount[v]--
-	if g.blCount[v] == 0 {
-		delete(g.blCount, v)
-		if v == g.maxBL {
-			for g.maxBL > 0 && g.blCount[g.maxBL] == 0 {
-				g.maxBL--
-			}
+	if g.blCount[v] == 0 && v == g.maxBL {
+		for g.maxBL > 0 && g.blCount[g.maxBL] == 0 {
+			g.maxBL--
 		}
 	}
 }

@@ -203,6 +203,98 @@ func TestVisitedCount(t *testing.T) {
 	}
 }
 
+// TestVisitedPrunesDoneAncestors: once the head of a chain completes, a
+// new tail's submission must not re-walk the dead suffix above it.
+func TestVisitedPrunesDoneAncestors(t *testing.T) {
+	g, ready := collectReady()
+	chain := make([]*Task, 5)
+	for i := range chain {
+		chain[i] = mkTask(i, []Token{1}, []Token{1})
+		g.Submit(chain[i])
+	}
+	// Complete the three oldest chain links.
+	for i := 0; i < 3; i++ {
+		head := (*ready)[0]
+		*ready = (*ready)[1:]
+		g.Start(head)
+		g.Complete(head)
+	}
+	// The new tail depends on task 4 (live); the only live ancestor above
+	// task 4 is task 3, so the walk examines exactly: the tail's pred
+	// edge (t4), then t4's pred edge (t3), then t3's edges to Done tasks
+	// — pruned. visited = 1 (self) + 2.
+	v := g.Submit(mkTask(5, []Token{1}, []Token{1}))
+	if v != 3 {
+		t.Fatalf("tail after 3 completions visited %d, want 3 (Done suffix pruned)", v)
+	}
+	if chain[3].BottomLevel != 2 || chain[4].BottomLevel != 1 {
+		t.Fatalf("live BLs = [%d %d], want [2 1]", chain[3].BottomLevel, chain[4].BottomLevel)
+	}
+}
+
+// TestBottomLevelMatchesRecompute cross-checks the memoized incremental
+// walk against a from-scratch recomputation over random DAGs with random
+// interleaved completions.
+func TestBottomLevelMatchesRecompute(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 50; trial++ {
+		g, ready := collectReady()
+		var all []*Task
+		for i := 0; i < 60; i++ {
+			// Each task reads and writes a couple of random tokens out of
+			// a small pool, building dense shared structure.
+			ins := []Token{Token(rng.Intn(6))}
+			outs := []Token{Token(rng.Intn(6))}
+			task := mkTask(i, ins, outs)
+			all = append(all, task)
+			g.Submit(task)
+			// Occasionally run a ready task to completion, creating Done
+			// suffixes mid-stream.
+			if rng.Bool(0.4) && len(*ready) > 0 {
+				head := (*ready)[0]
+				*ready = (*ready)[1:]
+				g.Start(head)
+				g.Complete(head)
+			}
+
+			// Recompute live bottom levels from scratch: longest path to
+			// a leaf counting only edges walked during submissions.
+			want := make(map[*Task]int64)
+			var bl func(n *Task) int64
+			bl = func(n *Task) int64 {
+				if v, ok := want[n]; ok {
+					return v
+				}
+				var m int64
+				for _, s := range n.succs {
+					if v := bl(s) + 1; v > m {
+						m = v
+					}
+				}
+				want[n] = m
+				return m
+			}
+			var wantMax int64
+			for _, task := range all {
+				if task.State() == Done {
+					continue
+				}
+				v := bl(task)
+				if v != task.BottomLevel {
+					t.Fatalf("trial %d task %d: incremental BL %d, recomputed %d",
+						trial, task.ID, task.BottomLevel, v)
+				}
+				if v > wantMax {
+					wantMax = v
+				}
+			}
+			if g.MaxLiveBL() != wantMax {
+				t.Fatalf("trial %d: MaxLiveBL %d, recomputed %d", trial, g.MaxLiveBL(), wantMax)
+			}
+		}
+	}
+}
+
 func TestReadyOrderDeterministic(t *testing.T) {
 	g, ready := collectReady()
 	w := mkTask(0, nil, []Token{1})

@@ -90,7 +90,8 @@ type Task struct {
 	state State
 	preds []*Task
 	succs []*Task
-	nwait int // unresolved predecessor count
+	nwait int    // unresolved predecessor count
+	mark  uint64 // graph-epoch stamp for allocation-free submission dedup
 
 	// Timeline bookkeeping, filled by the runtime.
 	SubmittedAt sim.Time

@@ -56,6 +56,18 @@ func All() []Workload {
 	}
 }
 
+// Names returns the six paper benchmark names in presentation order —
+// the single source for every list that walks All() by name (figure
+// matrices, perf suite, golden fixtures).
+func Names() []string {
+	ws := All()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name()
+	}
+	return names
+}
+
 // ByName returns the workload with the given name.
 func ByName(name string) (Workload, error) {
 	for _, w := range All() {
