@@ -3,9 +3,65 @@ package cata
 import (
 	"context"
 	"io"
+	"time"
 
+	"cata/internal/batch"
 	"cata/internal/exp"
 )
+
+// BatchProgress is one structured progress update of a running batch,
+// delivered through BatchOptions.OnProgress: a snapshot of the batch
+// counters plus the run that just completed. Events arrive from a
+// single goroutine in completion order, so handlers may keep state
+// without locking.
+type BatchProgress struct {
+	// Done counts finished runs (including cache hits); Total is the
+	// batch size.
+	Done, Total int
+	// Cached counts runs served from the result cache so far.
+	Cached int
+	// Failed counts runs that returned an error so far.
+	Failed int
+	// Index is the completed run's position in the input slice, or -1
+	// for the initial cache-resume summary event.
+	Index int
+	// Spec describes the completed run (workload/policy/fast).
+	Spec string
+	// Err is the completed run's error message, if any.
+	Err string
+	// Elapsed is the completed run's wall-clock time (zero when cached).
+	Elapsed time.Duration
+	// ETA estimates the remaining wall time; zero when unknown.
+	ETA time.Duration
+	// Note is the engine's annotation (the live best-EDP configuration).
+	Note string
+}
+
+// BatchCache is an open handle on a content-addressed JSONL result
+// cache, for callers that run many batches against one cache file —
+// catad holds one for its whole lifetime. Compared to per-batch
+// CachePath opens, a shared handle parses the file once and lets
+// concurrent batches see each other's completed results immediately.
+// All methods are safe for concurrent use.
+type BatchCache struct {
+	c *batch.Cache
+}
+
+// OpenBatchCache opens the JSONL result cache at path, creating the
+// file if absent.
+func OpenBatchCache(path string) (*BatchCache, error) {
+	c, err := batch.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchCache{c: c}, nil
+}
+
+// Len returns the number of distinct cached results.
+func (c *BatchCache) Len() int { return c.c.Len() }
+
+// Close releases the backing file.
+func (c *BatchCache) Close() error { return c.c.Close() }
 
 // BatchOptions configure a batch of simulations (RunBatch) or a matrix
 // evaluation (MatrixConfig.Batch).
@@ -15,23 +71,45 @@ type BatchOptions struct {
 	// CachePath, when non-empty, persists every completed result to a
 	// JSONL file keyed by a content hash of the run's configuration.
 	// An interrupted batch re-invoked with Resume set skips the runs
-	// already in the cache.
+	// already in the cache. The file is opened and parsed per batch;
+	// long-running callers should hold a Cache handle instead.
 	CachePath string
+	// Cache, when non-nil, is a shared open cache used instead of
+	// CachePath (and left open when the batch finishes).
+	Cache *BatchCache
 	// Resume serves runs already present in the cache instead of
 	// re-simulating them.
 	Resume bool
 	// Progress, when non-nil, receives one status line per completed
 	// run: done/total, an ETA, and the live best-EDP configuration.
 	Progress io.Writer
+	// OnProgress, when non-nil, receives one structured BatchProgress
+	// event per completed run (plus a summary event when a resumed
+	// batch served runs from the cache) — the subscribable form of
+	// Progress, used by catad to stream job progress over SSE.
+	OnProgress func(BatchProgress)
 }
 
 func (o BatchOptions) internal() exp.SweepOptions {
-	return exp.SweepOptions{
+	opts := exp.SweepOptions{
 		Parallelism: o.Parallelism,
 		CachePath:   o.CachePath,
 		Resume:      o.Resume,
 		Progress:    o.Progress,
 	}
+	if o.Cache != nil {
+		opts.Cache = o.Cache.c
+	}
+	if o.OnProgress != nil {
+		opts.Observe = func(e batch.Event) {
+			o.OnProgress(BatchProgress{
+				Done: e.Done, Total: e.Total, Cached: e.Cached, Failed: e.Failed,
+				Index: e.Index, Spec: e.Spec, Err: e.Err,
+				Elapsed: e.Elapsed, ETA: e.ETA, Note: e.Note,
+			})
+		}
+	}
+	return opts
 }
 
 // BatchResult is the outcome of one configuration in a batch: either a

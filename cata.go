@@ -62,13 +62,13 @@ func fromInternalAll(ips []exp.Policy) []Policy {
 // CLI help strings and the README table derive from it.
 type PolicyInfo struct {
 	// Policy is the value itself.
-	Policy Policy
+	Policy Policy `json:"policy"`
 	// Label is the paper's name, as parsed by ParsePolicy.
-	Label string
+	Label string `json:"label"`
 	// Extension marks beyond-the-paper configurations.
-	Extension bool
+	Extension bool `json:"extension,omitempty"`
 	// Summary is a one-line description.
-	Summary string
+	Summary string `json:"summary"`
 }
 
 // PolicyDocs returns documentation for all eight policies: the paper's
@@ -110,6 +110,23 @@ func Fig5Policies() []Policy {
 
 // String returns the paper's label for the policy.
 func (p Policy) String() string { return p.internal().String() }
+
+// MarshalJSON encodes the policy as its paper label (e.g. "CATA+RSU"),
+// the same representation the result cache and the catad wire format
+// use, so JSON stays readable and stable across enum reorderings.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return p.internal().MarshalJSON()
+}
+
+// UnmarshalJSON decodes a paper label, as accepted by ParsePolicy.
+func (p *Policy) UnmarshalJSON(b []byte) error {
+	var ip exp.Policy
+	if err := ip.UnmarshalJSON(b); err != nil {
+		return err
+	}
+	*p = fromInternal(ip)
+	return nil
+}
 
 // ParsePolicy converts a paper label ("FIFO", "CATS+BL", "CATS+SA",
 // "CATA", "CATA+RSU", "TurboMode") to a Policy.
@@ -167,72 +184,78 @@ func fromInternal(p exp.Policy) Policy {
 	}
 }
 
-// RunConfig describes one simulation.
+// RunConfig describes one simulation. The JSON form (snake_case keys,
+// policies as paper labels, durations in nanoseconds) is the request
+// body of catad's POST /v1/runs; the in-memory-only fields — Program
+// and the output writers — are excluded from it.
 type RunConfig struct {
 	// Workload is a workload spec: the name of a registered workload,
 	// optionally followed by parameters — "dedup",
 	// "layered:seed=7,width=16,depth=32", "trace:file=capture.json".
 	// See Workloads for the registry and each entry's parameters.
 	// Ignored when Program is set.
-	Workload string
+	Workload string `json:"workload,omitempty"`
 	// Program, when non-nil, runs a custom task graph built with
 	// NewProgram.
-	Program *Program
+	Program *Program `json:"-"`
 	// Policy is the system configuration (default PolicyFIFO).
-	Policy Policy
+	Policy Policy `json:"policy"`
 	// FastCores is the power budget: statically fast cores for FIFO/CATS,
 	// maximum simultaneously accelerated cores for CATA/RSU/TurboMode.
 	// The paper sweeps 8, 16 and 24 out of 32.
-	FastCores int
+	FastCores int `json:"fast_cores,omitempty"`
 	// Cores is the machine size (default 32, Table I).
-	Cores int
+	Cores int `json:"cores,omitempty"`
 	// Seed drives workload randomness (default 42).
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// Scale in (0, 1] shrinks workload task counts (default 1.0).
-	Scale float64
+	Scale float64 `json:"scale,omitempty"`
 	// TransitionLatency overrides the DVFS transition latency (zero keeps
 	// the Table I value of 25 µs). Used by the latency ablation.
-	TransitionLatency time.Duration
+	TransitionLatency time.Duration `json:"transition_latency_ns,omitempty"`
 	// TraceTo, when non-nil, receives the run's task timeline as a
 	// Chrome trace JSON document (open in chrome://tracing or Perfetto).
-	TraceTo io.Writer
+	TraceTo io.Writer `json:"-"`
 	// TimelineTo, when non-nil, receives a per-core ASCII Gantt chart of
 	// the run ('#' critical tasks, '=' non-critical, '.' idle).
-	TimelineTo io.Writer
+	TimelineTo io.Writer `json:"-"`
 }
 
-// Result is the outcome of one simulation.
+// Result is the outcome of one simulation. The JSON form (snake_case
+// keys, durations in nanoseconds) is what catad returns in job results.
 type Result struct {
 	// Makespan is the execution time of the parallel section.
-	Makespan time.Duration
+	Makespan time.Duration `json:"makespan_ns"`
 	// Joules is total chip energy.
-	Joules float64
+	Joules float64 `json:"joules"`
 	// EDP is the energy-delay product in joule-seconds.
-	EDP float64
+	EDP float64 `json:"edp"`
 	// TasksRun is the number of tasks executed.
-	TasksRun int64
+	TasksRun int64 `json:"tasks_run"`
 	// CriticalTasks is the number of tasks estimated critical.
-	CriticalTasks int64
+	CriticalTasks int64 `json:"critical_tasks"`
 	// ReconfigOps counts RSM/RSU reconfiguration operations (CATA paths).
-	ReconfigOps int64
+	ReconfigOps int64 `json:"reconfig_ops,omitempty"`
 	// ReconfigLatencyAvg and ReconfigLatencyMax describe software
 	// reconfiguration latency (CATA only; §V-C).
-	ReconfigLatencyAvg, ReconfigLatencyMax time.Duration
+	ReconfigLatencyAvg time.Duration `json:"reconfig_latency_avg_ns,omitempty"`
+	// ReconfigLatencyMax is the worst software reconfiguration latency.
+	ReconfigLatencyMax time.Duration `json:"reconfig_latency_max_ns,omitempty"`
 	// MaxLockWait is the worst lock acquisition observed across the
 	// runtime and kernel reconfiguration locks (CATA only).
-	MaxLockWait time.Duration
+	MaxLockWait time.Duration `json:"max_lock_wait_ns,omitempty"`
 	// ReconfigOverheadPct is reconfiguration core-time as a percentage of
 	// total core-time (CATA only).
-	ReconfigOverheadPct float64
+	ReconfigOverheadPct float64 `json:"reconfig_overhead_pct,omitempty"`
 	// Transitions counts physical DVFS transitions.
-	Transitions int64
+	Transitions int64 `json:"transitions,omitempty"`
 	// Inversions counts critical tasks dispatched to slow cores.
-	Inversions int64
+	Inversions int64 `json:"inversions,omitempty"`
 	// StaticBindingEvents counts times a fast core went idle while a
 	// critical task ran on a slow core (the second §II-C misbehavior).
-	StaticBindingEvents int64
+	StaticBindingEvents int64 `json:"static_binding_events,omitempty"`
 	// AvgUtilization is mean core busy-time over the makespan, in [0,1].
-	AvgUtilization float64
+	AvgUtilization float64 `json:"avg_utilization,omitempty"`
 }
 
 func toDuration(t sim.Time) time.Duration {
@@ -301,29 +324,29 @@ func Run(cfg RunConfig) (Result, error) {
 // written in a workload spec ("name:key=val,...").
 type WorkloadParam struct {
 	// Key is the parameter name.
-	Key string
+	Key string `json:"key"`
 	// Default describes the value used when the key is absent.
-	Default string
+	Default string `json:"default,omitempty"`
 	// Help is a one-line description.
-	Help string
+	Help string `json:"help,omitempty"`
 }
 
 // WorkloadInfo describes a registered workload.
 type WorkloadInfo struct {
 	// Name is the spec name.
-	Name string
+	Name string `json:"name"`
 	// Description is a one-line summary of the workload's structure.
-	Description string
+	Description string `json:"description"`
 	// Tasks is the task count at full scale with default parameters and
 	// seed 42; zero for file-backed workloads, which cannot be built
 	// without a file parameter.
-	Tasks int
+	Tasks int `json:"tasks,omitempty"`
 	// Params documents the entry's parameters (beyond the reserved
 	// seed and scale, which every workload accepts).
-	Params []WorkloadParam
+	Params []WorkloadParam `json:"params,omitempty"`
 	// FileBacked marks workloads that load their task graph from an
 	// external file and therefore require a file=PATH parameter.
-	FileBacked bool
+	FileBacked bool `json:"file_backed,omitempty"`
 }
 
 // Workloads lists the workload registry: the six PARSECSs-like paper

@@ -260,3 +260,32 @@ func TestTraceToPublic(t *testing.T) {
 		t.Fatal("trace not written")
 	}
 }
+
+// TestMatrixConfigsDefaults: the catad sweep expansion
+// (MatrixConfig.Configs) applies the shared matrix defaults — the FIFO
+// baseline (matching what RunMatrix executes for an empty Policies
+// list), the six paper benchmarks, the paper's fast-core sweep, the
+// standard seed triple — and expands in deterministic workloads ×
+// policies × fast × seeds order.
+func TestMatrixConfigsDefaults(t *testing.T) {
+	cfgs := MatrixConfig{}.Configs()
+	want := 6 * 1 * 3 * 3 // paper benchmarks × FIFO × fast × seeds
+	if len(cfgs) != want {
+		t.Fatalf("default expansion has %d configs, want %d", len(cfgs), want)
+	}
+	first := cfgs[0]
+	if first.Policy != PolicyFIFO || first.FastCores != 8 || first.Seed != 42 {
+		t.Fatalf("first config = %+v", first)
+	}
+
+	small := MatrixConfig{
+		Workloads: []string{"dedup"},
+		Policies:  []Policy{PolicyCATA},
+		FastCores: []int{16},
+		Seeds:     []uint64{7, 8},
+		Scale:     0.5,
+	}.Configs()
+	if len(small) != 2 || small[0].Seed != 7 || small[1].Seed != 8 || small[0].Scale != 0.5 {
+		t.Fatalf("explicit expansion = %+v", small)
+	}
+}

@@ -1,0 +1,110 @@
+// Command catad is the CATA simulation daemon: a long-running HTTP/JSON
+// service that accepts simulation and sweep jobs, executes them on a
+// bounded worker pool with a FIFO admission queue (shedding overload
+// with 429s), streams per-job progress over SSE, and serves repeated
+// requests for identical specs from a content-addressed result cache.
+//
+// Endpoints:
+//
+//	GET    /healthz              liveness/readiness (503 while draining)
+//	GET    /v1/policies          the eight policies with documentation
+//	GET    /v1/workloads         the workload registry
+//	POST   /v1/runs              submit one simulation (RunConfig JSON)
+//	POST   /v1/sweeps            submit a matrix (MatrixConfig JSON)
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         one job's status and results
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/jobs/{id}/events  SSE progress stream
+//
+// SIGINT/SIGTERM trigger graceful shutdown: admission stops, in-flight
+// jobs drain up to -drain-timeout, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cata/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 2, "concurrently executing jobs")
+	queue := flag.Int("queue", 16, "admission queue depth; overflow is shed with 429")
+	simPar := flag.Int("j", 0, "per-job simulation parallelism (default GOMAXPROCS/workers)")
+	retain := flag.Int("retain", 512, "terminal jobs kept queryable before the oldest are evicted")
+	cache := flag.String("cache", "catad.cache.jsonl", "content-addressed result cache path (empty disables caching)")
+	drain := flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown deadline for in-flight jobs")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queue, *simPar, *retain, *cache, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "catad: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the daemon and blocks until a termination signal has been
+// handled: drain jobs first (so SSE streams end naturally and results
+// persist to the cache), then close the HTTP listener.
+func run(addr string, workers, queue, simPar, retain int, cache string, drainTimeout time.Duration) error {
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	srv, err := server.New(server.Config{
+		Workers:        workers,
+		QueueDepth:     queue,
+		SimParallelism: simPar,
+		RetainJobs:     retain,
+		CachePath:      cache,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// The "listening on" line is the startup contract: the smoke script
+	// and the e2e test parse the bound address from it (ports may be
+	// ephemeral via -addr :0).
+	logger.Printf("catad: listening on %s (workers=%d queue=%d cache=%q)",
+		ln.Addr(), workers, queue, cache)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("catad: signal received; draining (deadline %v)", drainTimeout)
+
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		logger.Printf("catad: drain incomplete: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("catad: shutdown: %v", err)
+	}
+	<-errCh // Serve has returned http.ErrServerClosed
+	logger.Printf("catad: exited cleanly")
+	return nil
+}

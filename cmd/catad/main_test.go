@@ -1,0 +1,146 @@
+package main
+
+// Process-level acceptance test: build the real catad binary, boot it
+// on an ephemeral port, put a sweep in flight, send SIGTERM, and verify
+// the daemon drains the job (every run persisted to the result cache)
+// before exiting cleanly.
+
+import (
+	"bufio"
+	"context"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cata"
+	"cata/internal/batch"
+)
+
+func sigtermSeeds(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
+}
+
+func TestSIGTERMDrainsInFlightJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the catad binary")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "catad")
+	if out, err := exec.Command(goTool, "build", "-o", bin, "cata/cmd/catad").CombinedOutput(); err != nil {
+		t.Fatalf("building catad: %v\n%s", err, out)
+	}
+
+	cachePath := filepath.Join(dir, "cache.jsonl")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-workers", "1", "-j", "1",
+		"-cache", cachePath,
+		"-drain-timeout", "120s",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() // no-op on clean exit
+
+	// The startup log names the bound address; everything after it is
+	// collected for the post-mortem assertions.
+	sc := bufio.NewScanner(stderr)
+	addr := ""
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			addr = strings.Fields(rest)[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never announced its address: %v", sc.Err())
+	}
+	logDone := make(chan string, 1)
+	go func() {
+		var rest strings.Builder
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteByte('\n')
+		}
+		logDone <- rest.String()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	c := cata.NewServiceClient("http://"+addr, nil)
+	if h, err := c.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+
+	// A sweep of many tiny runs: long enough to be mid-flight when the
+	// signal lands, fast enough to drain well within the deadline.
+	const total = 800
+	job, err := c.SubmitSweep(ctx, cata.MatrixConfig{
+		Workloads: []string{"swaptions"},
+		Policies:  []cata.Policy{cata.PolicyCATA},
+		FastCores: []int{8},
+		Seeds:     sigtermSeeds(total),
+		Scale:     0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		st, err := c.Job(ctx, job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == cata.JobRunning {
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job finished before the signal could land: %s", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Drain stderr to EOF before Wait — Wait closes the pipe and would
+	// race the log collector out of the final lines.
+	var logTail string
+	select {
+	case logTail = <-logDone:
+	case <-time.After(110 * time.Second):
+		t.Fatal("catad did not exit after SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("catad exited uncleanly: %v", err)
+	}
+	if !strings.Contains(logTail, "exited cleanly") {
+		t.Fatalf("missing clean-exit log:\n%s", logTail)
+	}
+
+	// Drain semantics: the in-flight sweep ran to completion, so every
+	// one of its runs is in the content-addressed cache.
+	cache, err := batch.Open(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	if got := cache.Len(); got != total {
+		t.Fatalf("cache has %d results after drain, want %d", got, total)
+	}
+}

@@ -61,6 +61,12 @@ type Options[S, R any] struct {
 	// Progress, when non-nil, receives one status line per completed
 	// run (done/total, percent, ETA) plus a resume summary.
 	Progress io.Writer
+	// Observe, when non-nil, receives one structured Event per
+	// completed run plus a resume summary — the subscribable form of
+	// Progress, used by long-running services to stream batch progress
+	// to remote clients. All calls come from a single goroutine, in
+	// completion order.
+	Observe func(Event)
 	// Note, when non-nil, annotates each progress line. It is also
 	// called once per cache-served result before execution starts, so
 	// state it accumulates (e.g. a running best-EDP) covers the whole
@@ -111,7 +117,7 @@ func Run[S, R any](ctx context.Context, specs []S, runner func(context.Context, 
 		pending = append(pending, i)
 	}
 
-	prog := newProgress(opts.Progress, len(specs))
+	prog := newProgress(opts.Progress, opts.Observe, len(specs))
 	prog.resumed(cached)
 
 	jobs := make(chan int)

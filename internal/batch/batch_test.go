@@ -307,7 +307,7 @@ func TestKeyStability(t *testing.T) {
 
 // TestEtaMonotonicSetup sanity-checks the ETA extrapolation arithmetic.
 func TestEtaMonotonicSetup(t *testing.T) {
-	p := newProgress(nil, 10)
+	p := newProgress(nil, nil, 10)
 	base := time.Unix(0, 0)
 	p.start = base
 	p.now = func() time.Time { return base.Add(10 * time.Second) }
@@ -323,7 +323,7 @@ func TestEtaMonotonicSetup(t *testing.T) {
 
 	// Cache hits are instant and must not count toward the pace: with 5
 	// cached and 1 executed in 10s, 4 remain at ~10s each, not ~1.6s.
-	r := newProgress(nil, 10)
+	r := newProgress(nil, nil, 10)
 	r.start = base
 	r.now = func() time.Time { return base.Add(10 * time.Second) }
 	r.resumed(5)
@@ -331,5 +331,63 @@ func TestEtaMonotonicSetup(t *testing.T) {
 	eta, ok = r.eta()
 	if !ok || eta != 40*time.Second {
 		t.Fatalf("resumed eta = %v, %v; want 40s, true", eta, ok)
+	}
+}
+
+// TestObserve: the structured observer sees one event per completed
+// run with consistent counters, and a resumed batch opens with a
+// cache-summary event (Index -1) counting the served runs.
+func TestObserve(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	cache, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(s spec) (string, bool) { return fmt.Sprintf("k%d", s.ID), true }
+
+	var events []Event
+	opts := Options[spec, int]{
+		Parallelism: 4,
+		Cache:       cache, Key: key,
+		Observe: func(e Event) { events = append(events, e) },
+	}
+	if _, err := Run(context.Background(), specs(10), double, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("got %d events, want 10", len(events))
+	}
+	seen := map[int]bool{}
+	for i, e := range events {
+		if e.Done != i+1 || e.Total != 10 || e.Cached != 0 || e.Failed != 0 {
+			t.Fatalf("event %d counters = %+v", i, e)
+		}
+		if e.Err != "" || e.Spec == "" {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		seen[e.Index] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("indices not unique: %v", seen)
+	}
+	cache.Close()
+
+	// Resume: everything cached → a single summary event, Index -1.
+	cache2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache2.Close()
+	events = nil
+	opts.Cache, opts.Resume = cache2, true
+	if _, err := Run(context.Background(), specs(10), double, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("resumed batch got %d events, want 1 summary", len(events))
+	}
+	sum := events[0]
+	if sum.Index != -1 || sum.Done != 10 || sum.Total != 10 || sum.Cached != 10 {
+		t.Fatalf("summary event = %+v", sum)
 	}
 }

@@ -6,22 +6,54 @@ import (
 	"time"
 )
 
-// progress streams one status line per completed run: counts, percent,
-// elapsed wall time, a naive ETA extrapolated from the mean run time so
-// far, and the caller's note (e.g. the live best-EDP). All methods are
-// called from the collector goroutine only.
-type progress struct {
-	w      io.Writer
-	total  int
-	done   int
-	cached int // served from cache; excluded from the pace estimate
-	errs   int
-	start  time.Time
-	now    func() time.Time // test hook
+// Event is one structured progress update of a running batch: a
+// snapshot of the batch counters plus the run that just completed.
+// Events are delivered in completion order from a single goroutine, so
+// observers may keep state without locking. One summary event with
+// Index -1 precedes execution when a resumed batch served runs from the
+// cache.
+type Event struct {
+	// Done counts finished runs (including cache hits), Total the batch size.
+	Done, Total int
+	// Cached counts runs served from the cache so far.
+	Cached int
+	// Failed counts runs that returned an error so far.
+	Failed int
+	// Index is the completed run's position in the input slice, or -1
+	// for the initial cache-resume summary.
+	Index int
+	// Spec is the completed run's spec, rendered with fmt (empty for
+	// the resume summary).
+	Spec string
+	// Err is the completed run's error, if any.
+	Err string
+	// Elapsed is the completed run's wall-clock time (zero when cached).
+	Elapsed time.Duration
+	// ETA estimates the remaining wall time from the mean pace of the
+	// runs executed so far; zero when unknown.
+	ETA time.Duration
+	// Note is the caller's Note annotation for this run.
+	Note string
 }
 
-func newProgress(w io.Writer, total int) *progress {
-	p := &progress{w: w, total: total, now: time.Now}
+// progress fans each completed run out to the two progress consumers:
+// an optional io.Writer that gets one human-readable status line
+// (counts, percent, elapsed, a naive ETA, the caller's note), and an
+// optional structured observer (the subscribable form behind catad's
+// SSE streams). All methods are called from the collector goroutine.
+type progress struct {
+	w       io.Writer
+	observe func(Event)
+	total   int
+	done    int
+	cached  int // served from cache; excluded from the pace estimate
+	errs    int
+	start   time.Time
+	now     func() time.Time // test hook
+}
+
+func newProgress(w io.Writer, observe func(Event), total int) *progress {
+	p := &progress{w: w, observe: observe, total: total, now: time.Now}
 	p.start = p.now()
 	return p
 }
@@ -30,17 +62,42 @@ func newProgress(w io.Writer, total int) *progress {
 func (p *progress) resumed(n int) {
 	p.done += n
 	p.cached += n
-	if p.w == nil || n == 0 {
+	if n == 0 {
+		return
+	}
+	if p.observe != nil {
+		p.observe(Event{
+			Done: p.done, Total: p.total, Cached: p.cached, Failed: p.errs,
+			Index: -1,
+		})
+	}
+	if p.w == nil {
 		return
 	}
 	fmt.Fprintf(p.w, "batch: resume: %d/%d already cached\n", n, p.total)
 }
 
-// completed records one finished run and emits its status line.
+// completed records one finished run and emits its status line and
+// event. Cache hits never pass through here — they are counted up
+// front by resumed() — so Event.Cached is constant across completions.
 func (p *progress) completed(index int, spec any, elapsed time.Duration, err error, note string) {
 	p.done++
 	if err != nil {
 		p.errs++
+	}
+	eta, hasETA := p.eta()
+	if p.observe != nil {
+		e := Event{
+			Done: p.done, Total: p.total, Cached: p.cached, Failed: p.errs,
+			Index: index, Spec: fmt.Sprint(spec), Elapsed: elapsed, Note: note,
+		}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		if hasETA {
+			e.ETA = eta
+		}
+		p.observe(e)
 	}
 	if p.w == nil {
 		return
@@ -52,7 +109,7 @@ func (p *progress) completed(index int, spec any, elapsed time.Duration, err err
 	if err != nil {
 		line += fmt.Sprintf(" FAILED: %v", err)
 	}
-	if eta, ok := p.eta(); ok {
+	if hasETA {
 		line += fmt.Sprintf(" | eta %v", eta.Round(100*time.Millisecond))
 	}
 	if note != "" {

@@ -44,16 +44,26 @@ type MatrixSpec struct {
 
 func (s MatrixSpec) withDefaults() MatrixSpec {
 	if len(s.FastCores) == 0 {
-		s.FastCores = []int{8, 16, 24}
+		s.FastCores = DefaultFastCores()
 	}
 	if len(s.Workloads) == 0 {
 		s.Workloads = defaultWorkloads()
 	}
 	if len(s.Seeds) == 0 {
-		s.Seeds = []uint64{42, 1337, 2024}
+		s.Seeds = DefaultSeeds()
 	}
 	return s
 }
+
+// DefaultFastCores returns the paper's fast-core sweep (8, 16, 24 of
+// 32) — the default of every matrix evaluation, in-process and in
+// catad. The returned slice is a copy.
+func DefaultFastCores() []int { return []int{8, 16, 24} }
+
+// DefaultSeeds returns the seeds a matrix cell is averaged over by
+// default, shared by every matrix evaluation. The returned slice is a
+// copy.
+func DefaultSeeds() []uint64 { return []uint64{42, 1337, 2024} }
 
 // defaultWorkloads are the paper's six benchmarks, taken from the
 // workload registry rather than a third hand-maintained list.

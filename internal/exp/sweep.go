@@ -15,13 +15,25 @@ type SweepOptions struct {
 	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
 	Parallelism int
 	// CachePath, when non-empty, persists completed measurements to a
-	// JSONL file keyed by the spec's content hash.
+	// JSONL file keyed by the spec's content hash. The file is opened
+	// (and fully parsed) per Sweep call; services running many sweeps
+	// should hold one open Cache instead.
 	CachePath string
+	// Cache, when non-nil, is an already-open result cache shared
+	// across sweeps. It takes precedence over CachePath and is not
+	// closed by Sweep, so concurrent sweeps see each other's completed
+	// results without re-reading the backing file.
+	Cache *batch.Cache
 	// Resume skips specs whose results are already in the cache.
 	Resume bool
 	// Progress, when non-nil, receives one status line per completed
 	// run (done/total, ETA, live best-EDP).
 	Progress io.Writer
+	// Observe, when non-nil, receives one structured batch.Event per
+	// completed run plus a cache-resume summary — the subscribable
+	// progress form behind catad's SSE job streams. Calls arrive from a
+	// single goroutine in completion order.
+	Observe func(batch.Event)
 }
 
 // RunResult is the outcome of one spec in a sweep: a measurement or the
@@ -41,14 +53,14 @@ type RunResult struct {
 // to the cache), and returns the partial results with ctx.Err(); a later
 // Sweep over the same specs with Resume set completes the remainder.
 func Sweep(ctx context.Context, specs []RunSpec, opts SweepOptions) ([]RunResult, error) {
-	var cache *batch.Cache
-	if opts.CachePath != "" {
+	cache := opts.Cache
+	if cache == nil && opts.CachePath != "" {
 		c, err := batch.Open(opts.CachePath)
 		if err != nil {
 			return nil, err
 		}
 		cache = c
-		defer cache.Close()
+		defer c.Close()
 	}
 
 	// Note is called from a single goroutine — once per cache-served
@@ -75,6 +87,7 @@ func Sweep(ctx context.Context, specs []RunSpec, opts SweepOptions) ([]RunResult
 			Key:         cacheKey,
 			Resume:      opts.Resume,
 			Progress:    opts.Progress,
+			Observe:     opts.Observe,
 			Note:        note,
 		})
 	out := make([]RunResult, len(rs))

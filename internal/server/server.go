@@ -1,0 +1,376 @@
+// Package server implements catad's HTTP/JSON API: simulation and
+// sweep submission (POST /v1/runs, POST /v1/sweeps — the request bodies
+// are the public API's RunConfig and MatrixConfig JSON forms), job
+// introspection and cancellation (/v1/jobs), SSE progress streaming
+// (/v1/jobs/{id}/events), registry introspection (/v1/policies,
+// /v1/workloads) and /healthz. Jobs execute on a bounded
+// internal/jobs.Manager; each job runs through the public batch engine
+// (cata.RunBatch) against a shared content-addressed result cache, so
+// resubmitting an identical spec is served without re-simulation.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+
+	"cata"
+	"cata/internal/jobs"
+	"cata/internal/workloads"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Workers bounds concurrently executing jobs (default 2).
+	Workers int
+	// QueueDepth bounds the FIFO admission queue; submissions beyond it
+	// are shed with 429 (default 16).
+	QueueDepth int
+	// SimParallelism bounds each job's concurrent simulations (default
+	// GOMAXPROCS/Workers, at least 1), keeping the daemon's total CPU
+	// use near GOMAXPROCS when all workers are busy.
+	SimParallelism int
+	// RetainJobs bounds how many terminal jobs (with their event logs
+	// and result payloads) stay queryable; the oldest are evicted
+	// beyond it, keeping a long-running daemon's memory bounded
+	// (default 512). Queued and running jobs are never evicted.
+	RetainJobs int
+	// CachePath, when non-empty, is the shared content-addressed JSONL
+	// result cache: every completed run persists to it, and identical
+	// resubmissions are served from it without re-simulating.
+	CachePath string
+	// Logf, when non-nil, receives one line per request and job
+	// transition (e.g. log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.SimParallelism <= 0 {
+		c.SimParallelism = max(1, runtime.GOMAXPROCS(0)/c.Workers)
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the catad daemon: an HTTP handler over a bounded job
+// manager and one shared result cache.
+type Server struct {
+	cfg   Config
+	mgr   *jobs.Manager
+	mux   *http.ServeMux
+	cache *cata.BatchCache // nil when caching is disabled
+}
+
+// New builds a server, opens its result cache, and starts its worker
+// pool. The cache stays open for the server's lifetime — every job
+// reads and appends through the one handle, so concurrent jobs see
+// each other's completed results without re-parsing the file — and is
+// released by Close.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		mgr: jobs.New(cfg.Workers, cfg.QueueDepth, cfg.RetainJobs),
+		mux: http.NewServeMux(),
+	}
+	if cfg.CachePath != "" {
+		c, err := cata.OpenBatchCache(cfg.CachePath)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	return s, nil
+}
+
+// Close releases the shared result cache. Call after Drain.
+func (s *Server) Close() error {
+	if s.cache == nil {
+		return nil
+	}
+	return s.cache.Close()
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain gracefully shuts the job manager down: admission stops (new
+// submissions get 503), queued and running jobs finish, and past ctx's
+// deadline everything still in flight is canceled. Call before shutting
+// the HTTP listener down so in-flight SSE streams end naturally.
+func (s *Server) Drain(ctx context.Context) error {
+	s.cfg.Logf("catad: draining jobs")
+	err := s.mgr.Drain(ctx)
+	queued, running, terminal := s.mgr.Counts()
+	s.cfg.Logf("catad: drained: %d finished, %d queued, %d running", terminal, queued, running)
+	return err
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a {"error": ...} body with the given status.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	queued, running, terminal := s.mgr.Counts()
+	h := cata.ServiceHealth{
+		Status: "ok",
+		Queued: queued, Running: running, Jobs: queued + running + terminal,
+		Workers: s.cfg.Workers, QueueDepth: s.cfg.QueueDepth,
+	}
+	status := http.StatusOK
+	if s.mgr.Draining() {
+		// Fail readiness checks during shutdown so load balancers stop
+		// routing new submissions here while SSE streams drain.
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, cata.PolicyDocs())
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, cata.Workloads())
+}
+
+// decodeBody decodes a bounded JSON request body into v, rejecting
+// unknown fields so typos in specs fail loudly instead of silently
+// running defaults.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// checkWorkload validates that a workload spec names a registered
+// workload (parameters are validated at build time by the registry).
+func checkWorkload(spec string) error {
+	if spec == "" {
+		return errors.New("workload required")
+	}
+	name, _, _ := strings.Cut(spec, ":")
+	_, err := workloads.Lookup(name)
+	return err
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var cfg cata.RunConfig
+	if err := decodeBody(w, r, &cfg); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding run config: %v", err)
+		return
+	}
+	if err := checkWorkload(cfg.Workload); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	label := fmt.Sprintf("%s/%v/fast=%d", cfg.Workload, cfg.Policy, cfg.FastCores)
+	s.submit(w, "run", label, []cata.RunConfig{cfg})
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var cfg cata.MatrixConfig
+	if err := decodeBody(w, r, &cfg); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding sweep config: %v", err)
+		return
+	}
+	// MatrixConfig.Configs owns the defaults and the expansion order,
+	// so the daemon can never drift from the in-process API.
+	cfgs := cfg.Configs()
+	for _, c := range cfgs {
+		if err := checkWorkload(c.Workload); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	s.submit(w, "sweep", fmt.Sprintf("%d runs", len(cfgs)), cfgs)
+}
+
+// submit admits a batch of configs as one job and answers 202 with its
+// status, 429 when the queue sheds it, or 503 while draining.
+func (s *Server) submit(w http.ResponseWriter, kind, label string, cfgs []cata.RunConfig) {
+	j, err := s.mgr.Submit(kind, label, s.batchFn(cfgs))
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full (depth %d); retry later", s.cfg.QueueDepth)
+		return
+	case errors.Is(err, jobs.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.cfg.Logf("catad: %s %s admitted: %s", kind, j.ID(), label)
+	writeJSON(w, http.StatusAccepted, wireStatus(j.Status()))
+}
+
+// batchFn builds the job body: run the configs through the public batch
+// engine against the shared cache, streaming progress into the job's
+// event log and recording a ServiceResult payload (also on
+// cancellation, so partial results stay observable).
+func (s *Server) batchFn(cfgs []cata.RunConfig) jobs.Fn {
+	return func(ctx context.Context, publish func(jobs.Event)) (json.RawMessage, error) {
+		opts := cata.BatchOptions{
+			Parallelism: s.cfg.SimParallelism,
+			Cache:       s.cache,
+			Resume:      s.cache != nil,
+			OnProgress: func(p cata.BatchProgress) {
+				publish(jobs.Event{Type: jobs.EventProgress, Progress: &jobs.Progress{
+					Done: p.Done, Total: p.Total, Cached: p.Cached, Failed: p.Failed,
+					Spec:      p.Spec,
+					ElapsedMS: p.Elapsed.Milliseconds(),
+					ETAMS:     p.ETA.Milliseconds(),
+					Note:      p.Note,
+				}})
+			},
+		}
+		rs, err := cata.RunBatch(ctx, cfgs, opts)
+		payload := cata.ServiceResult{Results: make([]cata.JobOutcome, len(rs))}
+		for i, r := range rs {
+			o := cata.JobOutcome{Config: r.Config, Cached: r.Cached}
+			if r.Err != nil {
+				o.Error = r.Err.Error()
+				payload.Failed++
+			} else {
+				res := r.Result
+				o.Result = &res
+			}
+			if r.Cached {
+				payload.Cached++
+			}
+			payload.Results[i] = o
+		}
+		raw, mErr := json.Marshal(payload)
+		if mErr != nil {
+			return nil, mErr
+		}
+		return raw, err
+	}
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	js := s.mgr.Jobs()
+	out := make([]cata.JobStatus, len(js))
+	for i, j := range js {
+		// The listing stays light: drop the result payload before the
+		// wire conversion so it is never decoded. Fetch one job for
+		// its results.
+		st := j.Status()
+		st.Result = nil
+		out[i] = wireStatus(st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, wireStatus(j.Status()))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	s.cfg.Logf("catad: job %s cancel requested", j.ID())
+	writeJSON(w, http.StatusAccepted, wireStatus(j.Status()))
+}
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for e := range j.Events(r.Context()) {
+		data, err := json.Marshal(wireEvent(e))
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+		fl.Flush()
+	}
+}
+
+// wireEvent converts a job event to the public wire form.
+func wireEvent(e jobs.Event) cata.JobEvent {
+	out := cata.JobEvent{
+		Seq: e.Seq, Time: e.Time, Type: e.Type,
+		State: cata.JobState(e.State), Error: e.Error,
+	}
+	if e.Progress != nil {
+		p := *e.Progress
+		out.Progress = &cata.JobProgress{
+			Done: p.Done, Total: p.Total, Cached: p.Cached, Failed: p.Failed,
+			Spec: p.Spec, ElapsedMS: p.ElapsedMS, ETAMS: p.ETAMS, Note: p.Note,
+		}
+	}
+	return out
+}
+
+// wireStatus converts a job snapshot to the public wire form, decoding
+// the result payload when present.
+func wireStatus(st jobs.Status) cata.JobStatus {
+	out := cata.JobStatus{
+		ID: st.ID, Kind: st.Kind, Label: st.Label,
+		State:     cata.JobState(st.State),
+		Submitted: st.Submitted, Started: st.Started, Finished: st.Finished,
+		Error: st.Error, Events: st.Events,
+	}
+	if len(st.Result) > 0 {
+		var res cata.ServiceResult
+		if err := json.Unmarshal(st.Result, &res); err == nil {
+			out.Result = &res
+		}
+	}
+	return out
+}

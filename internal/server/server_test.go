@@ -1,0 +1,314 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cata"
+	"cata/internal/jobs"
+	"cata/internal/server"
+)
+
+// newTestService boots a daemon on an httptest listener and returns a
+// typed client for it. Cleanup cancels whatever is still in flight.
+func newTestService(t *testing.T, cfg server.Config) (*server.Server, *cata.ServiceClient) {
+	t.Helper()
+	if cfg.CachePath == "" {
+		cfg.CachePath = filepath.Join(t.TempDir(), "cache.jsonl")
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		_ = srv.Drain(ctx) // deadline force-cancels leftovers
+		_ = srv.Close()
+	})
+	return srv, cata.NewServiceClient(ts.URL, nil)
+}
+
+// seeds returns n distinct seeds, the cheap way to size a sweep.
+func seeds(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
+}
+
+// blockerSweep is a sweep big enough (~1500 tiny runs at parallelism 1)
+// to keep a worker busy while the test issues a few local requests.
+func blockerSweep() cata.MatrixConfig {
+	return cata.MatrixConfig{
+		Workloads: []string{"swaptions"},
+		Policies:  []cata.Policy{cata.PolicyCATA},
+		FastCores: []int{8},
+		Seeds:     seeds(1500),
+		Scale:     0.05,
+	}
+}
+
+// waitTerminal polls until the job leaves the running states.
+func waitTerminal(t *testing.T, c *cata.ServiceClient, id string) cata.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := c.Job(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitState polls until the job reaches exactly want.
+func waitState(t *testing.T, c *cata.ServiceClient, id string, want cata.JobState) cata.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := c.Job(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s in %s, want %s", id, st.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestIntrospectionEndpoints: /healthz, /v1/policies and /v1/workloads
+// reflect the embedded registries; bad requests get typed 4xx answers.
+func TestIntrospectionEndpoints(t *testing.T) {
+	_, c := newTestService(t, server.Config{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+	if h.Workers != 1 || h.QueueDepth != 4 {
+		t.Fatalf("health sizing = %+v", h)
+	}
+
+	ps, err := c.Policies(ctx)
+	if err != nil || len(ps) != len(cata.PolicyDocs()) {
+		t.Fatalf("policies = %d entries, %v", len(ps), err)
+	}
+	if ps[0].Label != "FIFO" || ps[0].Policy != cata.PolicyFIFO {
+		t.Fatalf("policies[0] = %+v", ps[0])
+	}
+
+	ws, err := c.Workloads(ctx)
+	if err != nil || len(ws) != len(cata.Workloads()) {
+		t.Fatalf("workloads = %d entries, %v", len(ws), err)
+	}
+
+	// Unknown job: 404.
+	var se *cata.ServiceError
+	if _, err := c.Job(ctx, "nope"); !errors.As(err, &se) || se.StatusCode != 404 {
+		t.Fatalf("unknown job err = %v", err)
+	}
+	if _, err := c.Cancel(ctx, "nope"); !errors.As(err, &se) || se.StatusCode != 404 {
+		t.Fatalf("cancel unknown job err = %v", err)
+	}
+	// Unknown workload: 400 before admission.
+	if _, err := c.SubmitRun(ctx, cata.RunConfig{Workload: "nope"}); !errors.As(err, &se) || se.StatusCode != 400 {
+		t.Fatalf("unknown workload err = %v", err)
+	}
+	// Missing workload: 400.
+	if _, err := c.SubmitRun(ctx, cata.RunConfig{}); !errors.As(err, &se) || se.StatusCode != 400 {
+		t.Fatalf("missing workload err = %v", err)
+	}
+}
+
+// TestQueueFullShedding: with the single worker busy and the depth-1
+// queue occupied, the next submission is shed with 429 and the daemon
+// stays healthy; after the blocker is canceled, admission reopens.
+func TestQueueFullShedding(t *testing.T) {
+	_, c := newTestService(t, server.Config{Workers: 1, QueueDepth: 1, SimParallelism: 1})
+	ctx := context.Background()
+
+	blocker, err := c.SubmitSweep(ctx, blockerSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, blocker.ID, cata.JobRunning)
+
+	queued, err := c.SubmitRun(ctx, cata.RunConfig{Workload: "dedup", Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.State != cata.JobQueued {
+		t.Fatalf("second job state = %s, want queued", queued.State)
+	}
+
+	_, err = c.SubmitRun(ctx, cata.RunConfig{Workload: "dedup", Scale: 0.05})
+	var se *cata.ServiceError
+	if !errors.As(err, &se) || se.StatusCode != 429 {
+		t.Fatalf("overflow submission err = %v, want 429", err)
+	}
+
+	// Shed requests leave no job behind.
+	js, err := c.Jobs(ctx)
+	if err != nil || len(js) != 2 {
+		t.Fatalf("jobs = %d, %v; want 2", len(js), err)
+	}
+
+	if _, err := c.Cancel(ctx, blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, c, blocker.ID)
+	waitTerminal(t, c, queued.ID) // queue slot freed, job ran
+	if _, err := c.SubmitRun(ctx, cata.RunConfig{Workload: "dedup", Scale: 0.05}); err != nil {
+		t.Fatalf("admission after shed: %v", err)
+	}
+}
+
+// TestCancelBeforeStart: canceling a queued job via the API moves it
+// straight to canceled; it never runs and its event log shows only
+// queued → canceled.
+func TestCancelBeforeStart(t *testing.T) {
+	_, c := newTestService(t, server.Config{Workers: 1, QueueDepth: 4, SimParallelism: 1})
+	ctx := context.Background()
+
+	blocker, err := c.SubmitSweep(ctx, blockerSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, blocker.ID, cata.JobRunning)
+
+	victim, err := c.SubmitRun(ctx, cata.RunConfig{Workload: "dedup", Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Cancel(ctx, victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != cata.JobCanceled {
+		t.Fatalf("victim state after cancel = %s", st.State)
+	}
+	if !st.Started.IsZero() {
+		t.Fatal("canceled-before-start job has a start time")
+	}
+
+	var events []cata.JobEvent
+	if err := c.Events(ctx, victim.ID, func(e cata.JobEvent) error {
+		events = append(events, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].State != cata.JobQueued || events[1].State != cata.JobCanceled {
+		t.Fatalf("event log = %+v", events)
+	}
+
+	if _, err := c.Cancel(ctx, blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, c, blocker.ID)
+}
+
+// TestDuplicateRunServedFromCache: resubmitting an identical spec is
+// answered from the shared result cache — flagged cached, bit-identical
+// result, no re-simulation.
+func TestDuplicateRunServedFromCache(t *testing.T) {
+	_, c := newTestService(t, server.Config{Workers: 2, QueueDepth: 8})
+	ctx := context.Background()
+	cfg := cata.RunConfig{Workload: "dedup", Policy: cata.PolicyCATA, FastCores: 8, Seed: 77, Scale: 0.05}
+
+	first, err := c.SubmitRun(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := c.Wait(ctx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.State != cata.JobSucceeded || st1.Result == nil || len(st1.Result.Results) != 1 {
+		t.Fatalf("first job = %+v", st1)
+	}
+	if st1.Result.Results[0].Cached {
+		t.Fatal("first execution claims to be cached")
+	}
+
+	second, err := c.SubmitRun(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.Wait(ctx, second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != cata.JobSucceeded || st2.Result == nil || st2.Result.Cached != 1 {
+		t.Fatalf("second job = %+v", st2)
+	}
+	o1, o2 := st1.Result.Results[0], st2.Result.Results[0]
+	if !o2.Cached {
+		t.Fatal("resubmission was re-simulated")
+	}
+	if o1.Result == nil || o2.Result == nil || *o1.Result != *o2.Result {
+		t.Fatalf("cached result drifted:\nfirst:  %+v\nsecond: %+v", o1.Result, o2.Result)
+	}
+}
+
+// TestStateParity: the public wire states and the jobs package states
+// are the same strings — the contract that lets the client decode the
+// daemon's payloads.
+func TestStateParity(t *testing.T) {
+	pairs := []struct {
+		wire cata.JobState
+		impl jobs.State
+	}{
+		{cata.JobQueued, jobs.Queued},
+		{cata.JobRunning, jobs.Running},
+		{cata.JobSucceeded, jobs.Succeeded},
+		{cata.JobFailed, jobs.Failed},
+		{cata.JobCanceled, jobs.Canceled},
+	}
+	for _, p := range pairs {
+		if string(p.wire) != string(p.impl) {
+			t.Errorf("state drift: %q vs %q", p.wire, p.impl)
+		}
+	}
+	if !cata.JobSucceeded.Terminal() || cata.JobRunning.Terminal() {
+		t.Fatal("JobState.Terminal drifted")
+	}
+}
+
+// TestFailedRunReported: a run that fails at build time lands the job
+// in failed with the cause preserved (admission checks only cover the
+// workload name, not its parameters).
+func TestFailedRunReported(t *testing.T) {
+	_, c := newTestService(t, server.Config{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+	st, err := c.SubmitRun(ctx, cata.RunConfig{Workload: "layered:bogus=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, c, st.ID)
+	if final.State != cata.JobSucceeded {
+		t.Fatalf("job state = %s (per-run failures must not fail the job)", final.State)
+	}
+	if final.Result == nil || final.Result.Failed != 1 || final.Result.Results[0].Error == "" {
+		t.Fatalf("result = %+v, want one failed outcome", final.Result)
+	}
+}

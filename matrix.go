@@ -5,26 +5,73 @@ import (
 	"io"
 
 	"cata/internal/exp"
+	"cata/internal/workloads"
 )
 
 // MatrixConfig parameterizes a full evaluation matrix over benchmarks,
-// policies and fast-core counts, normalized to the FIFO baseline.
+// policies and fast-core counts, normalized to the FIFO baseline. The
+// JSON form (snake_case keys, policies as paper labels) is the request
+// body of catad's POST /v1/sweeps; Batch is server-side policy and is
+// excluded from it.
 type MatrixConfig struct {
 	// Policies to evaluate (FIFO is always run as the baseline).
-	Policies []Policy
+	Policies []Policy `json:"policies,omitempty"`
 	// FastCores values to sweep (default {8, 16, 24}).
-	FastCores []int
+	FastCores []int `json:"fast_cores,omitempty"`
 	// Workloads to run (default: all six benchmarks).
-	Workloads []string
+	Workloads []string `json:"workloads,omitempty"`
 	// Cores is the machine size (default 32).
-	Cores int
+	Cores int `json:"cores,omitempty"`
 	// Seeds are run per cell and averaged (default {42, 1337, 2024}).
-	Seeds []uint64
+	Seeds []uint64 `json:"seeds,omitempty"`
 	// Scale shrinks task counts for quick runs (default 1.0).
-	Scale float64
+	Scale float64 `json:"scale,omitempty"`
 	// Batch configures the sweep engine that executes the matrix:
 	// parallelism, result caching and resume, and progress streaming.
-	Batch BatchOptions
+	Batch BatchOptions `json:"-"`
+}
+
+// Configs expands the matrix into the flat run list the sweep engine
+// executes — workloads × policies × fast-cores × seeds, in that
+// nesting order — with the matrix defaults applied: the six paper
+// benchmarks, the paper's {8,16,24} fast-core sweep, the standard seed
+// triple, and — matching what RunMatrix executes for an empty Policies
+// list — just the FIFO baseline, so a MatrixConfig means the same
+// experiment through the library and through catad's POST /v1/sweeps
+// (which uses exactly this expansion). Unlike RunMatrix it injects no
+// extra FIFO baseline for non-FIFO policy lists, since raw per-run
+// results need no normalization denominator.
+func (cfg MatrixConfig) Configs() []RunConfig {
+	policies := cfg.Policies
+	if len(policies) == 0 {
+		policies = []Policy{PolicyFIFO}
+	}
+	fastCores := cfg.FastCores
+	if len(fastCores) == 0 {
+		fastCores = exp.DefaultFastCores()
+	}
+	wls := cfg.Workloads
+	if len(wls) == 0 {
+		wls = workloads.Names()
+	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = exp.DefaultSeeds()
+	}
+	var out []RunConfig
+	for _, w := range wls {
+		for _, p := range policies {
+			for _, f := range fastCores {
+				for _, seed := range seeds {
+					out = append(out, RunConfig{
+						Workload: w, Policy: p, FastCores: f,
+						Cores: cfg.Cores, Seed: seed, Scale: cfg.Scale,
+					})
+				}
+			}
+		}
+	}
+	return out
 }
 
 // Matrix is an evaluated matrix: per-cell speedups and normalized EDP

@@ -1,0 +1,292 @@
+package cata_test
+
+// End-to-end test of the catad service stack (acceptance for the
+// daemon PR): boot the daemon on an ephemeral port, submit concurrent
+// sweeps with live SSE progress, cancel one mid-flight, prove that an
+// identical resubmission is served entirely from the result cache, and
+// drain gracefully. The process-level SIGTERM path is covered by the
+// cmd/catad test; this exercises the same Drain machinery in-process.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cata"
+	"cata/internal/server"
+)
+
+func e2eSeeds(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Workers:    2,
+		QueueDepth: 8,
+		CachePath:  filepath.Join(t.TempDir(), "cache.jsonl"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := cata.NewServiceClient(ts.URL, nil)
+	ctx := context.Background()
+
+	smallSweep := func(seedCount int) cata.MatrixConfig {
+		return cata.MatrixConfig{
+			Workloads: []string{"swaptions", "dedup"},
+			Policies:  []cata.Policy{cata.PolicyFIFO, cata.PolicyCATA},
+			FastCores: []int{8},
+			Seeds:     e2eSeeds(seedCount),
+			Scale:     0.05,
+		}
+	}
+	const runsPerSweep = 2 * 2 * 1 * 3 // workloads × policies × fast × seeds
+
+	// --- N concurrent sweeps complete with streamed progress events.
+	const concurrent = 3
+	ids := make([]string, concurrent)
+	for i := range concurrent {
+		st, err := c.SubmitSweep(ctx, smallSweep(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	var wg sync.WaitGroup
+	progressCounts := make([]int, concurrent)
+	finals := make([]cata.JobStatus, concurrent)
+	errs := make([]error, concurrent)
+	for i, id := range ids {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sawRunning := false
+			err := c.Events(ctx, id, func(e cata.JobEvent) error {
+				switch e.Type {
+				case "progress":
+					progressCounts[i]++
+				case "state":
+					if e.State == cata.JobRunning {
+						sawRunning = true
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !sawRunning {
+				errs[i] = errors.New("no running state event streamed")
+				return
+			}
+			finals[i], errs[i] = c.Job(ctx, id)
+		}()
+	}
+	wg.Wait()
+	for i := range concurrent {
+		if errs[i] != nil {
+			t.Fatalf("sweep %s: %v", ids[i], errs[i])
+		}
+		st := finals[i]
+		if st.State != cata.JobSucceeded {
+			t.Fatalf("sweep %s ended %s (%s)", st.ID, st.State, st.Error)
+		}
+		if progressCounts[i] == 0 {
+			t.Fatalf("sweep %s streamed no progress events", st.ID)
+		}
+		if st.Result == nil || len(st.Result.Results) != runsPerSweep || st.Result.Failed != 0 {
+			t.Fatalf("sweep %s result = %+v", st.ID, st.Result)
+		}
+		for _, o := range st.Result.Results {
+			if o.Error != "" || o.Result == nil || o.Result.TasksRun == 0 {
+				t.Fatalf("sweep %s outcome = %+v", st.ID, o)
+			}
+		}
+	}
+
+	// Identical sweeps executed concurrently against one cache must
+	// agree run-for-run: same spec, same measurement.
+	for i := 1; i < concurrent; i++ {
+		for k, o := range finals[i].Result.Results {
+			base := finals[0].Result.Results[k]
+			if *o.Result != *base.Result {
+				t.Fatalf("sweep %s run %d diverged from sweep %s", finals[i].ID, k, finals[0].ID)
+			}
+		}
+	}
+
+	// --- An in-flight sweep is cancelable via the API; partial results
+	// survive.
+	big, err := c.SubmitSweep(ctx, cata.MatrixConfig{
+		Workloads: []string{"swaptions"},
+		Policies:  []cata.Policy{cata.PolicyCATA},
+		FastCores: []int{8},
+		Seeds:     e2eSeeds(4000),
+		Scale:     0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Follow the stream until the first progress event, cancel, then
+	// drain the stream to the terminal event.
+	var cancelOnce sync.Once
+	var terminalState cata.JobState
+	err = c.Events(ctx, big.ID, func(e cata.JobEvent) error {
+		if e.Type == "progress" {
+			cancelOnce.Do(func() {
+				if _, err := c.Cancel(ctx, big.ID); err != nil {
+					t.Errorf("cancel: %v", err)
+				}
+			})
+		}
+		if e.Type == "state" && e.State.Terminal() {
+			terminalState = e.State
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terminalState != cata.JobCanceled {
+		t.Fatalf("canceled sweep ended %s", terminalState)
+	}
+	bigSt, err := c.Job(ctx, big.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigSt.Result == nil || len(bigSt.Result.Results) != 4000 {
+		t.Fatalf("canceled sweep result missing: %+v", bigSt.Result)
+	}
+	completed, canceled := 0, 0
+	for _, o := range bigSt.Result.Results {
+		if o.Error == "" {
+			completed++
+		} else {
+			canceled++
+		}
+	}
+	if completed == 0 || canceled == 0 {
+		t.Fatalf("cancel was not mid-flight: %d completed, %d canceled", completed, canceled)
+	}
+
+	// --- Resubmitting an identical sweep is served from the cache
+	// without re-simulation, near-instantly.
+	start := time.Now()
+	again, err := c.SubmitSweep(ctx, smallSweep(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	againSt, err := c.Wait(ctx, again.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedElapsed := time.Since(start)
+	if againSt.State != cata.JobSucceeded {
+		t.Fatalf("resubmitted sweep ended %s (%s)", againSt.State, againSt.Error)
+	}
+	if againSt.Result.Cached != runsPerSweep {
+		t.Fatalf("resubmission ran %d of %d runs instead of using the cache",
+			runsPerSweep-againSt.Result.Cached, runsPerSweep)
+	}
+	for k, o := range againSt.Result.Results {
+		if !o.Cached || *o.Result != *finals[0].Result.Results[k].Result {
+			t.Fatalf("cached outcome %d = %+v", k, o)
+		}
+	}
+	// "Near-instant" sanity bound: no simulation ran, so even a loaded
+	// CI machine finishes the round trip in well under this.
+	if cachedElapsed > 10*time.Second {
+		t.Fatalf("cached resubmission took %v", cachedElapsed)
+	}
+
+	// --- Graceful drain: in-flight work finishes, then admission is
+	// refused with 503 and health reports draining.
+	inFlight, err := c.SubmitSweep(ctx, smallSweep(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	last, err := c.Job(ctx, inFlight.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.State != cata.JobSucceeded {
+		t.Fatalf("in-flight job after drain = %s (%s)", last.State, last.Error)
+	}
+	var se *cata.ServiceError
+	if _, err := c.SubmitRun(ctx, cata.RunConfig{Workload: "dedup", Scale: 0.05}); !errors.As(err, &se) || se.StatusCode != 503 {
+		t.Fatalf("submission during drain err = %v, want 503", err)
+	}
+	h, err := c.Health(ctx)
+	if !errors.As(err, &se) || se.StatusCode != 503 || h.Status != "draining" {
+		t.Fatalf("health during drain = %+v, %v", h, err)
+	}
+}
+
+// TestServiceClientEventsReplay: a subscriber attaching after the job
+// finished replays the complete ordered log, ending with the terminal
+// state event.
+func TestServiceClientEventsReplay(t *testing.T) {
+	srv, err := server.New(server.Config{Workers: 1, QueueDepth: 4,
+		CachePath: filepath.Join(t.TempDir(), "cache.jsonl")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := cata.NewServiceClient(ts.URL, nil)
+	ctx := context.Background()
+
+	st, err := c.SubmitRun(ctx, cata.RunConfig{Workload: "swaptions", Policy: cata.PolicyCATA, FastCores: 8, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []cata.JobEvent
+	if err := c.Events(ctx, st.ID, func(e cata.JobEvent) error {
+		events = append(events, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 4 { // queued, running, ≥1 progress, succeeded
+		t.Fatalf("replayed %d events: %+v", len(events), events)
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	first, last := events[0], events[len(events)-1]
+	if first.State != cata.JobQueued || last.State != cata.JobSucceeded {
+		t.Fatalf("log boundaries = %+v ... %+v", first, last)
+	}
+
+	// fn errors stop consumption and surface to the caller.
+	wantErr := fmt.Errorf("stop")
+	if err := c.Events(ctx, st.ID, func(cata.JobEvent) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("fn error not surfaced: %v", err)
+	}
+}
