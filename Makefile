@@ -6,10 +6,13 @@ GO ?= go
 # it, the relative tolerance for ns/op and allocs/op, and which gates
 # bind (all, or portable = allocs/op + checksums — what CI uses, since
 # the committed baseline's ns/op came from different hardware).
+# BENCH_PROFILES, when set, is a directory that receives per-stage pprof
+# CPU and heap profiles alongside the capture (CI uploads it).
 BENCH_OUT ?= /tmp/cata-bench/BENCH_check.json
 BENCH_BASE ?= BENCH_1.json
 BENCH_TOL ?= 0.15
 BENCH_GATE ?= all
+BENCH_PROFILES ?=
 
 # Coverage gate: cover-check fails when total statement coverage drops
 # below COVER_FLOOR percent (the tree sits at ~80%; the floor leaves
@@ -45,7 +48,8 @@ bench-capture:
 # hardware before trusting the ns/op gate locally.
 bench-check:
 	@mkdir -p $(dir $(BENCH_OUT))
-	$(GO) run ./cmd/catabench -out $(BENCH_OUT)
+	$(GO) run ./cmd/catabench -out $(BENCH_OUT) \
+		$(if $(BENCH_PROFILES),-cpuprofile $(BENCH_PROFILES) -memprofile $(BENCH_PROFILES))
 	$(GO) run ./cmd/catabench -compare $(BENCH_BASE) -against $(BENCH_OUT) -tol $(BENCH_TOL) -gate $(BENCH_GATE)
 
 vet:
@@ -98,4 +102,10 @@ lint: vet
 docs-check:
 	$(GO) run ./internal/tools/docscheck
 
-ci: fmt-check build vet test smoke catad-smoke cover-check docs-check
+# The local CI mirror: everything the workflow gates, minus the pinned
+# tool installs (lint degrades gracefully when staticcheck/govulncheck
+# are absent). Short fuzz budget and the portable bench gate keep it
+# runnable on any hardware.
+ci: fmt-check build lint test smoke catad-smoke cover-check docs-check
+	$(MAKE) fuzz-smoke FUZZTIME=10s
+	$(MAKE) bench-check BENCH_GATE=portable

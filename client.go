@@ -234,6 +234,27 @@ func (c *ServiceClient) Health(ctx context.Context) (ServiceHealth, error) {
 	return h, err
 }
 
+// Metrics fetches GET /metrics: the daemon's telemetry in Prometheus
+// text format (queue depth, jobs by state, cache hit/miss counters,
+// engine events/sec, acceleration decisions), as raw exposition text
+// for scraping or assertion in smoke tests.
+func (c *ServiceClient) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if resp.StatusCode/100 != 2 {
+		return "", &ServiceError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return string(body), err
+}
+
 // Policies fetches GET /v1/policies: the daemon's policy table, as
 // documented by PolicyDocs.
 func (c *ServiceClient) Policies(ctx context.Context) ([]PolicyInfo, error) {

@@ -14,6 +14,12 @@
 //
 //	catabench -compare BENCH_1.json -against /tmp/bench.json [-tol 0.15]
 //
+// Capture with pprof evidence (one CPU and/or heap profile per suite
+// stage, paths recorded in the capture's profiles metadata — CI uploads
+// these next to BENCH_ci.json):
+//
+//	catabench -out /tmp/bench.json -cpuprofile /tmp/prof -memprofile /tmp/prof
+//
 // The suite runs the bench_test.go figure matrices, the six paper
 // workloads under CATA, event-engine and TDG microbenchmarks, and
 // per-policy makespan checksums, all at fixed seeds. ns/op and allocs/op
@@ -42,6 +48,8 @@ func main() {
 		tol       = flag.Float64("tol", 0.15, "relative tolerance for ns/op and allocs/op gates")
 		gate      = flag.String("gate", "all", "which gates are binding: all, or portable (allocs/op + checksums only — use when the baseline came from different hardware)")
 		quiet     = flag.Bool("q", false, "suppress per-entry progress")
+		cpuProf   = flag.String("cpuprofile", "", "directory for per-stage pprof CPU profiles (recorded in the capture's profiles metadata)")
+		memProf   = flag.String("memprofile", "", "directory for per-stage pprof heap profiles (recorded in the capture's profiles metadata)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -56,11 +64,14 @@ func main() {
 	if *compare != "" {
 		os.Exit(runCompare(*compare, *against, *tol, *gate))
 	}
-	os.Exit(runCapture(*dir, *out, *scale, *seed, *benchtime, *quiet))
+	os.Exit(runCapture(*dir, *out, *scale, *seed, *benchtime, *quiet, *cpuProf, *memProf))
 }
 
-func runCapture(dir, out string, scale float64, seed uint64, benchtime time.Duration, quiet bool) int {
-	opts := perf.Options{Scale: scale, Seed: seed, BenchTime: benchtime}
+func runCapture(dir, out string, scale float64, seed uint64, benchtime time.Duration, quiet bool, cpuProf, memProf string) int {
+	opts := perf.Options{
+		Scale: scale, Seed: seed, BenchTime: benchtime,
+		CPUProfileDir: cpuProf, MemProfileDir: memProf,
+	}
 	if !quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}

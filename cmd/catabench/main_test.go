@@ -14,11 +14,12 @@ import (
 // each other.
 func TestCaptureAndCompare(t *testing.T) {
 	dir := t.TempDir()
-	if code := runCapture(dir, "", 0.02, 7, time.Millisecond, true); code != 0 {
+	if code := runCapture(dir, "", 0.02, 7, time.Millisecond, true, "", ""); code != 0 {
 		t.Fatalf("first capture exited %d", code)
 	}
 	out := filepath.Join(dir, "explicit.json")
-	if code := runCapture(dir, out, 0.02, 7, time.Millisecond, true); code != 0 {
+	profDir := filepath.Join(dir, "prof")
+	if code := runCapture(dir, out, 0.02, 7, time.Millisecond, true, profDir, profDir); code != 0 {
 		t.Fatalf("second capture exited %d", code)
 	}
 	base := filepath.Join(dir, "BENCH_1.json")
@@ -34,6 +35,25 @@ func TestCaptureAndCompare(t *testing.T) {
 	f, err := perf.ReadFile(out)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The profiled capture must record pprof evidence that actually
+	// exists on disk, one entry per suite stage.
+	if len(f.Profiles) == 0 {
+		t.Fatal("profiled capture recorded no profiles metadata")
+	}
+	for _, p := range f.Profiles {
+		if p.CPU == "" || p.Heap == "" {
+			t.Fatalf("profile %q missing a path: %+v", p.Name, p)
+		}
+		for _, path := range []string{p.CPU, p.Heap} {
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatalf("profile %q: %v", p.Name, err)
+			}
+			if st.Size() == 0 {
+				t.Fatalf("profile %q: %s is empty", p.Name, path)
+			}
+		}
 	}
 	for i := range f.Results {
 		if f.Results[i].Kind == perf.KindChecksum {

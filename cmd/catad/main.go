@@ -7,6 +7,7 @@
 // Endpoints:
 //
 //	GET    /healthz              liveness/readiness (503 while draining)
+//	GET    /metrics              Prometheus text-format telemetry
 //	GET    /v1/policies          the eight policies with documentation
 //	GET    /v1/workloads         the workload registry
 //	POST   /v1/runs              submit one simulation (RunConfig JSON)
@@ -15,6 +16,10 @@
 //	GET    /v1/jobs/{id}         one job's status and results
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/jobs/{id}/events  SSE progress stream
+//
+// With -debug-addr set, a second listener additionally serves
+// net/http/pprof under /debug/pprof/ (plus a /metrics mirror) — opt-in
+// so profiling is never exposed on the service address by accident.
 //
 // SIGINT/SIGTERM trigger graceful shutdown: admission stops, in-flight
 // jobs drain up to -drain-timeout, then the listener closes.
@@ -28,11 +33,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"cata/internal/metrics"
 	"cata/internal/server"
 )
 
@@ -44,9 +51,10 @@ func main() {
 	retain := flag.Int("retain", 512, "terminal jobs kept queryable before the oldest are evicted")
 	cache := flag.String("cache", "catad.cache.jsonl", "content-addressed result cache path (empty disables caching)")
 	drain := flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown deadline for in-flight jobs")
+	debugAddr := flag.String("debug-addr", "", "optional second listen address serving net/http/pprof and /metrics (e.g. 127.0.0.1:6060); empty disables")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *simPar, *retain, *cache, *drain); err != nil {
+	if err := run(*addr, *workers, *queue, *simPar, *retain, *cache, *drain, *debugAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "catad: %v\n", err)
 		os.Exit(1)
 	}
@@ -55,7 +63,7 @@ func main() {
 // run boots the daemon and blocks until a termination signal has been
 // handled: drain jobs first (so SSE streams end naturally and results
 // persist to the cache), then close the HTTP listener.
-func run(addr string, workers, queue, simPar, retain int, cache string, drainTimeout time.Duration) error {
+func run(addr string, workers, queue, simPar, retain int, cache string, drainTimeout time.Duration, debugAddr string) error {
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 
 	srv, err := server.New(server.Config{
@@ -86,6 +94,27 @@ func run(addr string, workers, queue, simPar, retain int, cache string, drainTim
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 
+	// The opt-in debug listener: pprof's profile/heap/trace handlers
+	// plus a /metrics mirror, on an address you keep off the load
+	// balancer. Best-effort lifecycle — it dies with the process.
+	var ds *http.Server
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dm := http.NewServeMux()
+		dm.Handle("/metrics", metrics.Handler())
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds = &http.Server{Handler: dm}
+		logger.Printf("catad: debug listening on %s (pprof + metrics)", dln.Addr())
+		go func() { _ = ds.Serve(dln) }()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
@@ -103,6 +132,9 @@ func run(addr string, workers, queue, simPar, retain int, cache string, drainTim
 	}
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Printf("catad: shutdown: %v", err)
+	}
+	if ds != nil {
+		_ = ds.Close()
 	}
 	<-errCh // Serve has returned http.ErrServerClosed
 	logger.Printf("catad: exited cleanly")

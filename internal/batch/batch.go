@@ -105,12 +105,14 @@ func Run[S, R any](ctx context.Context, specs []S, runner func(context.Context, 
 						if err := json.Unmarshal(raw, &v); err == nil {
 							results[i] = Result[S, R]{Index: i, Spec: s, Value: v, Cached: true}
 							cached++
+							mCacheHits.Inc()
 							if opts.Note != nil {
 								opts.Note(results[i])
 							}
 							continue
 						}
 					}
+					mCacheMisses.Inc()
 				}
 			}
 		}
@@ -166,6 +168,11 @@ func Run[S, R any](ctx context.Context, specs []S, runner func(context.Context, 
 	var cacheErr error
 	for r := range completions {
 		results[r.Index] = r
+		if r.Err == nil {
+			mSpecs.With("ok").Inc()
+		} else {
+			mSpecs.With("error").Inc()
+		}
 		if r.Err == nil && opts.Cache != nil && keys[r.Index] != "" {
 			if err := opts.Cache.Put(keys[r.Index], r.Value); err != nil && cacheErr == nil {
 				cacheErr = err

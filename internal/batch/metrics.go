@@ -1,0 +1,15 @@
+package batch
+
+import "cata/internal/metrics"
+
+// The sweep engine's telemetry, exposed through catad's GET /metrics.
+// Cache hits and misses are counted only for cacheable specs under a
+// resumable cache — the lookups that could have saved a simulation.
+var (
+	mCacheHits = metrics.NewCounter("cata_cache_hits_total",
+		"Sweep specs served from the content-addressed result cache without running.")
+	mCacheMisses = metrics.NewCounter("cata_cache_misses_total",
+		"Resumable cache lookups that missed; the spec was simulated.")
+	mSpecs = metrics.NewCounterVec("cata_batch_specs_completed_total",
+		"Batch specs finished executing, by result (ok, error).", "result")
+)

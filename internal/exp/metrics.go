@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"time"
+
+	"cata/internal/metrics"
+)
+
+// The simulation layer's telemetry, aggregated across every Run in the
+// process and exposed through catad's GET /metrics. Events/sec is
+// derived at scrape time from the two counters, so it reflects the
+// lifetime average rather than a sampling window.
+var (
+	mSimRuns = metrics.NewCounter("cata_sim_runs_total",
+		"Simulations completed.")
+	mSimEvents = metrics.NewCounter("cata_sim_events_total",
+		"Discrete events fired by the simulation engine.")
+	mSimWall = metrics.NewCounter("cata_sim_wall_seconds_total",
+		"Wall-clock seconds spent inside the simulator.")
+	_ = metrics.NewGaugeFunc("cata_sim_events_per_sec",
+		"Lifetime average engine throughput: events fired / wall seconds simulating.",
+		func() float64 {
+			w := mSimWall.Value()
+			if w <= 0 {
+				return 0
+			}
+			return mSimEvents.Value() / w
+		})
+	mTransitions = metrics.NewCounter("cata_dvfs_transitions_total",
+		"Physical V/f transitions performed across all simulations.")
+	mAccelGranted = metrics.NewCounter("cata_accel_granted_total",
+		"Core accelerations granted by the reconfiguration layer (RSM/RSU).")
+	mAccelDenied = metrics.NewCounter("cata_accel_denied_total",
+		"Task starts that ran non-accelerated because the power budget was exhausted.")
+	mBudgetUtil = metrics.NewGauge("cata_power_budget_utilization",
+		"Last completed run's time-averaged accelerated cores / budget, in [0,1].")
+)
+
+// observeRun folds one completed simulation into the process metrics.
+func observeRun(m Measurement, eventsFired uint64, elapsed time.Duration) {
+	mSimRuns.Inc()
+	mSimEvents.Add(float64(eventsFired))
+	mSimWall.Add(elapsed.Seconds())
+	mTransitions.Add(float64(m.Transitions))
+	mAccelGranted.Add(float64(m.AccelsGranted))
+	mAccelDenied.Add(float64(m.AccelsDenied))
+	if m.BudgetUtilization > 0 {
+		mBudgetUtil.Set(m.BudgetUtilization)
+	}
+}

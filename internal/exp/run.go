@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"cata/internal/energy"
 	"cata/internal/program"
@@ -142,6 +143,11 @@ type Measurement struct {
 	ReconfigOverheadPct float64  // reconfiguration core-time / total core-time
 	TurboReassigns      int64    // TurboMode halt-driven handoffs
 
+	// Acceleration-decision accounting (CATA's RSM; granted also for RSU).
+	AccelsGranted     int64   // accelerations granted
+	AccelsDenied      int64   // task starts denied acceleration (budget exhausted)
+	BudgetUtilization float64 // time-averaged accelerated cores / budget, in [0,1]
+
 	// AvgUtilization is mean busy-time/makespan across cores in [0,1].
 	AvgUtilization float64
 }
@@ -163,7 +169,9 @@ func Run(spec RunSpec) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
+	wallStart := time.Now()
 	res, err := rig.runtime.Run()
+	wallElapsed := time.Since(wallStart)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("%v: %w", spec, err)
 	}
@@ -201,6 +209,12 @@ func Run(spec RunSpec) (Measurement, error) {
 		m.LockWaitMax = rig.rsmMod.Lock().WaitTimes().MaxTime()
 		total := float64(res.Makespan) * float64(spec.Cores)
 		m.ReconfigOverheadPct = 100 * float64(rig.rsmMod.OpTimeTotal()) / total
+		m.AccelsGranted = accels
+		m.AccelsDenied = rig.rsmMod.Denied()
+		if spec.FastCores > 0 && res.Makespan > 0 {
+			m.BudgetUtilization = float64(rig.rsmMod.AccelCoreTime()) /
+				(float64(res.Makespan) * float64(spec.FastCores))
+		}
 	}
 	if rig.fw != nil {
 		m.DriverLockWaitMax = rig.fw.DriverLock().WaitTimes().MaxTime()
@@ -208,6 +222,7 @@ func Run(spec RunSpec) (Measurement, error) {
 	if rig.rsuUnit != nil {
 		accels, decels := rig.rsuUnit.Reconfigs()
 		m.ReconfigOps = accels + decels
+		m.AccelsGranted = accels
 	}
 	if rig.mlUnit != nil {
 		ups, downs := rig.mlUnit.Moves()
@@ -223,6 +238,7 @@ func Run(spec RunSpec) (Measurement, error) {
 		}
 		m.AvgUtilization = float64(busy) / (float64(res.Makespan) * float64(rig.mach.Cores()))
 	}
+	observeRun(m, rig.eng.Fired(), wallElapsed)
 	return m, nil
 }
 

@@ -250,6 +250,7 @@ func (j *Job) Cancel() {
 		j.err = "canceled before start"
 		j.fn = nil // release the closure and everything it pins
 		j.appendLocked(Event{Type: EventState, State: Canceled, Error: j.err})
+		mCompleted.With(string(Canceled)).Inc()
 	}
 	j.mu.Unlock()
 	j.cancel()
@@ -269,10 +270,12 @@ func (j *Job) run() {
 	j.state = Running
 	j.started = time.Now()
 	j.appendLocked(Event{Type: EventState, State: Running})
+	mRunning.Add(1)
 	j.mu.Unlock()
 
 	res, err := j.fn(j.ctx, j.Publish)
 	j.cancel() // release the context's resources
+	mRunning.Add(-1)
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -295,6 +298,8 @@ func (j *Job) run() {
 		j.err = err.Error()
 	}
 	j.appendLocked(Event{Type: EventState, State: j.state, Error: j.err})
+	mCompleted.With(string(j.state)).Inc()
+	mDuration.Observe(j.finished.Sub(j.started).Seconds())
 }
 
 // Manager runs submitted jobs on a fixed worker pool behind a FIFO
@@ -383,6 +388,7 @@ func (m *Manager) worker() {
 		}
 		j := m.queue[0]
 		m.queue = m.queue[1:]
+		mQueueDepth.Set(float64(len(m.queue)))
 		m.mu.Unlock()
 		j.run()
 		m.prune()
@@ -396,6 +402,7 @@ func (m *Manager) dequeue(j *Job) {
 	for i, q := range m.queue {
 		if q == j {
 			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			mQueueDepth.Set(float64(len(m.queue)))
 			return
 		}
 	}
@@ -411,6 +418,7 @@ func (m *Manager) Submit(kind, label string, fn Fn) (*Job, error) {
 		return nil, ErrDraining
 	}
 	if len(m.queue) >= m.depth {
+		mShed.Inc()
 		return nil, ErrQueueFull
 	}
 	m.nextID++
@@ -428,6 +436,8 @@ func (m *Manager) Submit(kind, label string, fn Fn) (*Job, error) {
 	m.queue = append(m.queue, j)
 	m.jobs[j.id] = j
 	m.order = append(m.order, j)
+	mSubmitted.Inc()
+	mQueueDepth.Set(float64(len(m.queue)))
 	m.cond.Signal()
 	return j, nil
 }

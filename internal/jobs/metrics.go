@@ -1,0 +1,23 @@
+package jobs
+
+import "cata/internal/metrics"
+
+// The manager's telemetry, exposed through catad's GET /metrics. All
+// counters are process-wide: a daemon runs one Manager, and in tests
+// running several managers the gauges are kept exact by mirroring
+// queue length under the manager lock while the counters aggregate.
+var (
+	mSubmitted = metrics.NewCounter("cata_jobs_submitted_total",
+		"Jobs admitted to the FIFO queue.")
+	mShed = metrics.NewCounter("cata_jobs_shed_total",
+		"Submissions shed because the admission queue was full (the daemon's 429s).")
+	mCompleted = metrics.NewCounterVec("cata_jobs_completed_total",
+		"Jobs reaching a terminal state, by state (succeeded, failed, canceled).", "state")
+	mQueueDepth = metrics.NewGauge("cata_jobs_queue_depth",
+		"Jobs waiting in the admission queue right now.")
+	mRunning = metrics.NewGauge("cata_jobs_running",
+		"Jobs executing on workers right now.")
+	mDuration = metrics.NewHistogram("cata_job_duration_seconds",
+		"Wall-clock job execution time, start to terminal, in seconds.",
+		metrics.ExpBuckets(0.01, 4, 10))
+)

@@ -1,0 +1,394 @@
+// Package metrics is the dependency-free telemetry core behind catad's
+// GET /metrics: atomic counters, gauges, and fixed-bucket histograms
+// with Prometheus text-format exposition (version 0.0.4), implemented
+// on the standard library alone so the module stays import-free.
+//
+// Instrumented packages declare their metrics as package-level vars via
+// the NewCounter/NewGauge/NewHistogram constructors, which register
+// into the process-wide Default registry; catad serves the whole
+// registry through Handler. All metric operations are lock-free atomic
+// updates, cheap enough for the simulator's run loop.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// desc is a metric's identity in the exposition: name and help text.
+type desc struct {
+	name string
+	help string
+}
+
+// metric is anything a Registry can expose.
+type metric interface {
+	describe() desc
+	// typeName is the exposition TYPE: counter, gauge, or histogram.
+	typeName() string
+	// write emits the metric's sample lines (no HELP/TYPE headers).
+	write(w io.Writer)
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Registry holds a set of uniquely named metrics and renders them in
+// Prometheus text format, sorted by metric name. The zero value is not
+// usable; construct with NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]metric{}}
+}
+
+// Default is the process-wide registry the package-level constructors
+// register into and Handler exposes.
+var Default = NewRegistry()
+
+// register adds m under its name, panicking on duplicates or invalid
+// names — both are programming errors caught at package init.
+func (r *Registry) register(m metric) {
+	d := m.describe()
+	if !nameRe.MatchString(d.name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", d.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[d.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", d.name))
+	}
+	r.byName[d.name] = m
+}
+
+// Write renders every registered metric in Prometheus text format,
+// sorted by name: a HELP line, a TYPE line, then the sample lines.
+func (r *Registry) Write(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	ms := make([]metric, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		ms = append(ms, r.byName[n])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, m := range ms {
+		d := m.describe()
+		if d.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", d.name, escapeHelp(d.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", d.name, m.typeName())
+		m.write(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Write(w)
+	})
+}
+
+// Handler serves the Default registry as a Prometheus scrape endpoint.
+func Handler() http.Handler { return Default.Handler() }
+
+// escapeHelp escapes backslashes and newlines per the text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value: shortest round-trip form, with
+// the exposition's spellings for infinities.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// atomicFloat is a float64 updated with CAS loops on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) set(v float64)  { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value. All methods are safe for
+// concurrent use and allocation-free.
+type Counter struct {
+	d desc
+	v atomicFloat
+}
+
+// NewCounter creates a counter in the Default registry.
+func NewCounter(name, help string) *Counter { return Default.NewCounter(name, help) }
+
+// NewCounter creates and registers a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{d: desc{name, help}}
+	r.register(c)
+	return c
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds v, which must not be negative (counters are monotonic).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("metrics: counter decrease")
+	}
+	c.v.add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.value() }
+
+func (c *Counter) describe() desc   { return c.d }
+func (c *Counter) typeName() string { return "counter" }
+func (c *Counter) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", c.d.name, formatFloat(c.Value()))
+}
+
+// Gauge is a value that can go up and down. All methods are safe for
+// concurrent use and allocation-free.
+type Gauge struct {
+	d desc
+	v atomicFloat
+}
+
+// NewGauge creates a gauge in the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.NewGauge(name, help) }
+
+// NewGauge creates and registers a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{d: desc{name, help}}
+	r.register(g)
+	return g
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.v.set(v) }
+
+// Add adds v (negative to decrease).
+func (g *Gauge) Add(v float64) { g.v.add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.value() }
+
+func (g *Gauge) describe() desc   { return g.d }
+func (g *Gauge) typeName() string { return "gauge" }
+func (g *Gauge) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", g.d.name, formatFloat(g.Value()))
+}
+
+// GaugeFunc is a gauge whose value is computed at scrape time, for
+// derived quantities (ratios of counters, sizes of live structures).
+// fn must be safe for concurrent use.
+type GaugeFunc struct {
+	d  desc
+	fn func() float64
+}
+
+// NewGaugeFunc creates a computed gauge in the Default registry.
+func NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	return Default.NewGaugeFunc(name, help, fn)
+}
+
+// NewGaugeFunc creates and registers a computed gauge.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	g := &GaugeFunc{d: desc{name, help}, fn: fn}
+	r.register(g)
+	return g
+}
+
+func (g *GaugeFunc) describe() desc   { return g.d }
+func (g *GaugeFunc) typeName() string { return "gauge" }
+func (g *GaugeFunc) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", g.d.name, formatFloat(g.fn()))
+}
+
+// CounterVec is a family of counters partitioned by one label. Children
+// are created on first use and live for the process's lifetime, so the
+// label must be low-cardinality (a state enum, a result class — never
+// an ID).
+type CounterVec struct {
+	d     desc
+	label string
+
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewCounterVec creates a labeled counter family in the Default registry.
+func NewCounterVec(name, help, label string) *CounterVec {
+	return Default.NewCounterVec(name, help, label)
+}
+
+// NewCounterVec creates and registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	if !labelRe.MatchString(label) {
+		panic(fmt.Sprintf("metrics: invalid label name %q", label))
+	}
+	v := &CounterVec{d: desc{name, help}, label: label, m: map[string]*Counter{}}
+	r.register(v)
+	return v
+}
+
+// With returns the child counter for the given label value, creating it
+// on first use. Children may be cached by callers: they never move.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.m[value]
+	if !ok {
+		c = &Counter{d: v.d}
+		v.m[value] = c
+	}
+	return c
+}
+
+func (v *CounterVec) describe() desc   { return v.d }
+func (v *CounterVec) typeName() string { return "counter" }
+func (v *CounterVec) write(w io.Writer) {
+	v.mu.Lock()
+	values := make([]string, 0, len(v.m))
+	for val := range v.m {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	children := make([]*Counter, len(values))
+	for i, val := range values {
+		children[i] = v.m[val]
+	}
+	v.mu.Unlock()
+	for i, val := range values {
+		fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n", v.d.name, v.label, escapeLabel(val), formatFloat(children[i].Value()))
+	}
+}
+
+// Histogram is a fixed-bucket distribution with a running sum, exposed
+// with Prometheus's cumulative le buckets. Observe is a binary search
+// plus two atomic updates — safe and cheap under concurrency.
+type Histogram struct {
+	d      desc
+	bounds []float64 // strictly increasing upper bounds, excluding +Inf
+	counts []atomic.Uint64
+	sum    atomicFloat
+}
+
+// NewHistogram creates a histogram in the Default registry.
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	return Default.NewHistogram(name, help, buckets)
+}
+
+// NewHistogram creates and registers a histogram with the given bucket
+// upper bounds, which must be strictly increasing. An implicit +Inf
+// bucket is always appended.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %s buckets not increasing at %v", name, buckets[i]))
+		}
+	}
+	h := &Histogram{
+		d:      desc{name, help},
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	r.register(h)
+	return h
+}
+
+// ExpBuckets returns n bucket bounds growing geometrically from start
+// by factor: start, start*factor, ... — the usual latency shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// The bucket is the first bound >= v (Prometheus le semantics);
+	// values above every bound land in the implicit +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.value() }
+
+func (h *Histogram) describe() desc   { return h.d }
+func (h *Histogram) typeName() string { return "histogram" }
+func (h *Histogram) write(w io.Writer) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.d.name, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.d.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.d.name, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", h.d.name, cum)
+}

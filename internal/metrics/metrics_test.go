@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden locks the text format down: family ordering by
+// name, HELP/TYPE headers, label quoting, histogram cumulative buckets.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.NewCounter("test_requests_total", "Requests handled.")
+	c.Add(3)
+
+	g := r.NewGauge("test_depth", "Queue depth.")
+	g.Set(2)
+	g.Add(-1.5)
+
+	r.NewGaugeFunc("test_ratio", "A derived ratio.", func() float64 { return 0.25 })
+
+	v := r.NewCounterVec("test_jobs_total", "Jobs by state.", "state")
+	v.With("succeeded").Add(2)
+	v.With("failed").Inc()
+	v.With(`odd"value`).Inc()
+
+	h := r.NewHistogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_depth Queue depth.
+# TYPE test_depth gauge
+test_depth 0.5
+# HELP test_jobs_total Jobs by state.
+# TYPE test_jobs_total counter
+test_jobs_total{state="failed"} 1
+test_jobs_total{state="odd\"value"} 1
+test_jobs_total{state="succeeded"} 2
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 11.05
+test_latency_seconds_count 4
+# HELP test_ratio A derived ratio.
+# TYPE test_ratio gauge
+test_ratio 0.25
+# HELP test_requests_total Requests handled.
+# TYPE test_requests_total counter
+test_requests_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestConcurrentIncrements hammers every mutable metric type from many
+// goroutines; run under -race this doubles as the data-race check, and
+// the final values prove no increment was lost.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	v := r.NewCounterVec("v_total", "", "k")
+	h := r.NewHistogram("h", "", []float64{1, 10, 100})
+
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				v.With("a").Inc()
+				if w%2 == 0 {
+					v.With("b").Inc()
+				}
+				h.Observe(float64(i % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %v, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := v.With("a").Value(); got != workers*per {
+		t.Errorf("vec[a] = %v, want %d", got, workers*per)
+	}
+	if got := v.With("b").Value(); got != workers/2*per {
+		t.Errorf("vec[b] = %v, want %d", got, workers/2*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: a value equal to
+// a bound lands in that bound's bucket, one just above lands in the
+// next, and values beyond the last bound go to +Inf only.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("b", "", []float64{1, 2, 4})
+
+	obs := []struct {
+		v    float64
+		want [4]uint64 // cumulative bucket counts after the observation: le=1,2,4,+Inf
+	}{
+		{0.5, [4]uint64{1, 1, 1, 1}},
+		{1, [4]uint64{2, 2, 2, 2}},      // exactly on a bound: included (le)
+		{1.0001, [4]uint64{2, 3, 3, 3}}, // just above: next bucket
+		{4, [4]uint64{2, 3, 4, 4}},      // last finite bound
+		{4.0001, [4]uint64{2, 3, 4, 5}}, // beyond every bound: +Inf only
+		{math.Inf(1), [4]uint64{2, 3, 4, 6}},
+	}
+	for _, o := range obs {
+		h.Observe(o.v)
+		got := cumulative(h)
+		if got != o.want {
+			t.Errorf("after Observe(%v): cumulative = %v, want %v", o.v, got, o.want)
+		}
+	}
+	if h.Count() != uint64(len(obs)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(obs))
+	}
+	wantSum := 0.5 + 1 + 1.0001 + 4 + 4.0001 + math.Inf(1)
+	if h.Sum() != wantSum {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+// cumulative reads the histogram's cumulative bucket counts.
+func cumulative(h *Histogram) [4]uint64 {
+	var out [4]uint64
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// TestExpBuckets checks the geometric generator.
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.01, 10, 4)
+	want := []float64{0.01, 0.1, 1, 10}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRegistryRejects checks the init-time guard rails.
+func TestRegistryRejects(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "")
+	mustPanic(t, "duplicate name", func() { r.NewGauge("dup_total", "") })
+	mustPanic(t, "invalid name", func() { r.NewCounter("0bad", "") })
+	mustPanic(t, "invalid label", func() { r.NewCounterVec("ok_total", "", "0bad") })
+	mustPanic(t, "decreasing buckets", func() { r.NewHistogram("h", "", []float64{2, 1}) })
+	mustPanic(t, "counter decrease", func() { r.NewCounter("c2_total", "").Add(-1) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", what)
+		}
+	}()
+	fn()
+}

@@ -44,6 +44,21 @@ type File struct {
 	Seed  uint64  `json:"seed"`
 	// Results are the capture entries, in suite order.
 	Results []Result `json:"results"`
+	// Profiles lists the pprof files captured alongside the results
+	// (one entry per suite stage when profiling was requested), so a
+	// BENCH capture records where its profilable evidence lives.
+	Profiles []Profile `json:"profiles,omitempty"`
+}
+
+// Profile records where one suite stage's pprof files were written.
+type Profile struct {
+	// Name is the suite entry the profiles cover ("figure4/matrix",
+	// "checksums", ...).
+	Name string `json:"name"`
+	// CPU is the pprof CPU profile path, when captured.
+	CPU string `json:"cpu,omitempty"`
+	// Heap is the pprof heap profile path, when captured.
+	Heap string `json:"heap,omitempty"`
 }
 
 // Result kinds.

@@ -3,7 +3,11 @@ package perf
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"cata/internal/exp"
@@ -28,6 +32,13 @@ type Options struct {
 	BenchTime time.Duration
 	// Progress, when non-nil, receives one line per completed entry.
 	Progress func(string)
+	// CPUProfileDir, when non-empty, captures a pprof CPU profile per
+	// suite stage into <dir>/<stage>.cpu.pprof (slashes in stage names
+	// become underscores). The directory is created if absent.
+	CPUProfileDir string
+	// MemProfileDir, when non-empty, writes a post-GC heap profile per
+	// suite stage into <dir>/<stage>.heap.pprof.
+	MemProfileDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -49,33 +60,99 @@ type benchFunc func(n int) (events int64, err error)
 
 // Run executes the full suite — figure matrices, per-workload runs,
 // engine and TDG microbenchmarks, then checksums — and returns the
-// capture.
+// capture. With CPUProfileDir/MemProfileDir set, every stage leaves
+// pprof CPU/heap profiles behind and the capture's Profiles metadata
+// records where.
 func Run(opts Options) (*File, error) {
 	opts = opts.withDefaults()
 	f := NewFile(opts.Scale, opts.Seed)
 
 	for _, e := range suite(opts) {
-		res, err := measure(e.name, e.fn, opts.BenchTime)
+		var res Result
+		prof, err := profiled(opts, e.name, func() error {
+			var merr error
+			res, merr = measure(e.name, e.fn, opts.BenchTime)
+			return merr
+		})
 		if err != nil {
 			return nil, fmt.Errorf("perf: %s: %w", e.name, err)
 		}
 		f.Results = append(f.Results, res)
+		if prof != nil {
+			f.Profiles = append(f.Profiles, *prof)
+		}
 		if opts.Progress != nil {
 			opts.Progress(fmt.Sprintf("%-28s %12.0f ns/op %10d allocs/op", res.Name, res.NsPerOp, res.AllocsPerOp))
 		}
 	}
 
-	sums, err := Checksums(opts.Scale, opts.Seed)
+	var sums []Result
+	prof, err := profiled(opts, "checksums", func() error {
+		var cerr error
+		sums, cerr = Checksums(opts.Scale, opts.Seed)
+		return cerr
+	})
 	if err != nil {
 		return nil, err
 	}
 	f.Results = append(f.Results, sums...)
+	if prof != nil {
+		f.Profiles = append(f.Profiles, *prof)
+	}
 	if opts.Progress != nil {
 		for _, s := range sums {
 			opts.Progress(fmt.Sprintf("%-28s %s", s.Name, s.Checksum))
 		}
 	}
 	return f, nil
+}
+
+// profiled runs one suite stage under the requested pprof captures and
+// returns where the profiles were written (nil when profiling is off).
+func profiled(opts Options, stage string, run func() error) (*Profile, error) {
+	if opts.CPUProfileDir == "" && opts.MemProfileDir == "" {
+		return nil, run()
+	}
+	base := strings.ReplaceAll(stage, "/", "_")
+	p := &Profile{Name: stage}
+
+	if opts.CPUProfileDir != "" {
+		if err := os.MkdirAll(opts.CPUProfileDir, 0o755); err != nil {
+			return nil, err
+		}
+		p.CPU = filepath.Join(opts.CPUProfileDir, base+".cpu.pprof")
+		cf, err := os.Create(p.CPU)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return nil, fmt.Errorf("perf: starting CPU profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+		}()
+	}
+	if err := run(); err != nil {
+		return nil, err
+	}
+	if opts.MemProfileDir != "" {
+		if err := os.MkdirAll(opts.MemProfileDir, 0o755); err != nil {
+			return nil, err
+		}
+		p.Heap = filepath.Join(opts.MemProfileDir, base+".heap.pprof")
+		hf, err := os.Create(p.Heap)
+		if err != nil {
+			return nil, err
+		}
+		defer hf.Close()
+		runtime.GC() // up-to-date allocation statistics in the profile
+		if err := pprof.WriteHeapProfile(hf); err != nil {
+			return nil, fmt.Errorf("perf: writing heap profile: %w", err)
+		}
+	}
+	return p, nil
 }
 
 type entry struct {

@@ -57,6 +57,14 @@ type RSM struct {
 	accel  []bool
 	nAccel int
 
+	// Budget accounting: denies counts TaskStart operations that ended
+	// without an acceleration (no budget and no victim), and
+	// accelCoreTime integrates nAccel over simulated time so budget
+	// utilization can be reported per run.
+	denies        int64
+	accelCoreTime sim.Time
+	accelMark     sim.Time
+
 	// BookkeepingCycles is the table-update cost per operation, paid on
 	// the calling core inside the lock.
 	BookkeepingCycles int64
@@ -105,6 +113,26 @@ func (r *RSM) Lock() *cpufreq.Lock { return r.lock }
 // operations issued.
 func (r *RSM) Reconfigs() (accels, decels int64) { return r.accels, r.decels }
 
+// Denied returns how many TaskStart operations ended without an
+// acceleration — the task ran non-accelerated because the budget was
+// exhausted and (for critical tasks) no non-critical victim existed.
+func (r *RSM) Denied() int64 { return r.denies }
+
+// AccelCoreTime returns the accelerated core-time accumulated so far:
+// the integral of the accelerated-core count over simulated time.
+// Dividing by budget × makespan yields the power-budget utilization.
+func (r *RSM) AccelCoreTime() sim.Time {
+	return r.accelCoreTime + sim.Time(r.nAccel)*(r.eng.Now()-r.accelMark)
+}
+
+// noteAccelChange folds the elapsed interval at the current
+// accelerated-core count into the integral before nAccel changes.
+func (r *RSM) noteAccelChange() {
+	now := r.eng.Now()
+	r.accelCoreTime += sim.Time(r.nAccel) * (now - r.accelMark)
+	r.accelMark = now
+}
+
 // OpLatency summarizes the latency of TaskStart/TaskEnd operations
 // (lock wait + bookkeeping + cpufreq writes) — the paper's
 // "reconfiguration latency" (§V-C).
@@ -148,9 +176,11 @@ func (r *RSM) TaskStart(core int, critical bool, done func()) {
 					})
 				} else {
 					// All accelerated cores run critical tasks: run slow.
+					r.denies++
 					r.finishOp(core, start, done)
 				}
 			default:
+				r.denies++
 				r.finishOp(core, start, done)
 			}
 		})
@@ -209,6 +239,7 @@ func (r *RSM) accelerate(core int) {
 	if r.accel[core] {
 		panic(fmt.Sprintf("rsm: double accelerate of core %d", core))
 	}
+	r.noteAccelChange()
 	r.accel[core] = true
 	r.nAccel++
 	r.accels++
@@ -221,6 +252,7 @@ func (r *RSM) decelerate(core int) {
 	if !r.accel[core] {
 		panic(fmt.Sprintf("rsm: decelerate of non-accelerated core %d", core))
 	}
+	r.noteAccelChange()
 	r.accel[core] = false
 	r.nAccel--
 	r.decels++

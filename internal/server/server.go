@@ -3,7 +3,9 @@
 // are the public API's RunConfig and MatrixConfig JSON forms), job
 // introspection and cancellation (/v1/jobs), SSE progress streaming
 // (/v1/jobs/{id}/events), registry introspection (/v1/policies,
-// /v1/workloads) and /healthz. Jobs execute on a bounded
+// /v1/workloads), /healthz, and the Prometheus scrape endpoint
+// /metrics (queue depth, jobs by state, cache hit rate, engine
+// events/sec, acceleration decisions). Jobs execute on a bounded
 // internal/jobs.Manager; each job runs through the public batch engine
 // (cata.RunBatch) against a shared content-addressed result cache, so
 // resubmitting an identical spec is served without re-simulation.
@@ -20,6 +22,7 @@ import (
 
 	"cata"
 	"cata/internal/jobs"
+	"cata/internal/metrics"
 	"cata/internal/workloads"
 )
 
@@ -93,6 +96,9 @@ func New(cfg Config) (*Server, error) {
 		s.cache = c
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// The whole process's telemetry — job manager, batch cache,
+	// simulation layer — in Prometheus text format.
+	s.mux.Handle("GET /metrics", metrics.Handler())
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)

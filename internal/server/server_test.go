@@ -5,6 +5,8 @@ import (
 	"errors"
 	"net/http/httptest"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -310,5 +312,88 @@ func TestFailedRunReported(t *testing.T) {
 	}
 	if final.Result == nil || final.Result.Failed != 1 || final.Result.Results[0].Error == "" {
 		t.Fatalf("result = %+v, want one failed outcome", final.Result)
+	}
+}
+
+// scrapeMetrics fetches /metrics and parses every sample line into a
+// map keyed by the full sample name (labels included).
+func scrapeMetrics(t *testing.T, c *cata.ServiceClient) map[string]float64 {
+	t.Helper()
+	body, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("exposition line %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestMetricsEndpoint: /metrics serves parseable Prometheus text that
+// reflects the work the daemon actually did — a completed run moves the
+// job, cache, and simulator counters. Metrics are process-global, so
+// the assertions are on deltas across this test's own traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	_, c := newTestService(t, server.Config{Workers: 1, QueueDepth: 8})
+	ctx := context.Background()
+	before := scrapeMetrics(t, c)
+
+	cfg := cata.RunConfig{Workload: "swaptions", Policy: cata.PolicyCATA, FastCores: 8, Seed: 11, Scale: 0.05}
+	for i := 0; i < 2; i++ { // second submission is the cache hit
+		st, err := c.SubmitRun(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final := waitTerminal(t, c, st.ID); final.State != cata.JobSucceeded {
+			t.Fatalf("job %d state = %s", i, final.State)
+		}
+	}
+
+	after := scrapeMetrics(t, c)
+	delta := func(name string) float64 { return after[name] - before[name] }
+	if d := delta(`cata_jobs_completed_total{state="succeeded"}`); d < 2 {
+		t.Errorf("succeeded-jobs delta = %v, want >= 2", d)
+	}
+	if d := delta("cata_jobs_submitted_total"); d < 2 {
+		t.Errorf("submitted-jobs delta = %v, want >= 2", d)
+	}
+	if d := delta("cata_cache_misses_total"); d < 1 {
+		t.Errorf("cache-miss delta = %v, want >= 1", d)
+	}
+	if d := delta("cata_cache_hits_total"); d < 1 {
+		t.Errorf("cache-hit delta = %v, want >= 1", d)
+	}
+	if d := delta("cata_sim_runs_total"); d < 1 {
+		t.Errorf("sim-runs delta = %v, want >= 1", d)
+	}
+	if d := delta("cata_accel_granted_total"); d < 1 {
+		t.Errorf("accel-granted delta = %v, want >= 1 (CATA run must accelerate)", d)
+	}
+	if d := delta(`cata_job_duration_seconds_count`); d < 2 {
+		t.Errorf("job-duration observations delta = %v, want >= 2", d)
+	}
+	// Presence-only: gauges and derived rates whose values depend on
+	// timing, not on this test's traffic.
+	for _, name := range []string{
+		"cata_jobs_queue_depth",
+		"cata_jobs_running",
+		"cata_sim_events_per_sec",
+		"cata_power_budget_utilization",
+	} {
+		if _, ok := after[name]; !ok {
+			t.Errorf("metric %s missing from exposition", name)
+		}
 	}
 }

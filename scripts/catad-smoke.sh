@@ -57,6 +57,43 @@ curl -fsS --max-time 10 "$BASE/v1/jobs/$ID/events" | grep -q '"state":"succeeded
     || { echo "catad-smoke: SSE replay missing terminal event"; exit 1; }
 echo "catad-smoke: SSE replay ok"
 
+# Resubmit the identical spec: it must be answered from the result
+# cache, which the /metrics scrape below asserts on.
+JOB2=$(curl -fsS -X POST "$BASE/v1/runs" -H 'Content-Type: application/json' \
+    -d '{"workload":"swaptions","policy":"CATA","fast_cores":8,"scale":0.05}')
+ID2=$(printf '%s' "$JOB2" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$ID2" ] || { echo "catad-smoke: no job id in: $JOB2"; exit 1; }
+STATE=""
+for _ in $(seq 1 200); do
+    STATE=$(curl -fsS "$BASE/v1/jobs/$ID2" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+    [ "$STATE" = "succeeded" ] && break
+    case "$STATE" in failed|canceled) echo "catad-smoke: cached job $STATE"; exit 1 ;; esac
+    sleep 0.1
+done
+[ "$STATE" = "succeeded" ] || { echo "catad-smoke: cached job stuck in '$STATE'"; exit 1; }
+echo "catad-smoke: cached resubmission succeeded"
+
+# /metrics must serve well-formed Prometheus text exposition: every
+# non-comment line is `name{labels} value`, and the counters reflect
+# the two jobs this script just ran (one simulated, one cache-served).
+curl -fsS "$BASE/metrics" > "$DIR/metrics"
+BAD=$(grep -v '^#' "$DIR/metrics" | grep -v '^$' \
+    | grep -Evc '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$' || true)
+[ "$BAD" -eq 0 ] || { echo "catad-smoke: $BAD malformed /metrics lines"; grep -v '^#' "$DIR/metrics"; exit 1; }
+metric() {
+    awk -v n="$1" '$1 == n { print $2 }' "$DIR/metrics"
+}
+SUCCEEDED=$(metric 'cata_jobs_completed_total{state="succeeded"}')
+HITS=$(metric 'cata_cache_hits_total')
+MISSES=$(metric 'cata_cache_misses_total')
+[ -n "$SUCCEEDED" ] && [ "${SUCCEEDED%.*}" -ge 2 ] \
+    || { echo "catad-smoke: completed{succeeded}=$SUCCEEDED, want >= 2"; exit 1; }
+[ -n "$HITS" ] && [ "${HITS%.*}" -ge 1 ] \
+    || { echo "catad-smoke: cache hits=$HITS, want >= 1"; exit 1; }
+[ -n "$MISSES" ] && [ "${MISSES%.*}" -ge 1 ] \
+    || { echo "catad-smoke: cache misses=$MISSES, want >= 1"; exit 1; }
+echo "catad-smoke: /metrics ok (succeeded=$SUCCEEDED hits=$HITS misses=$MISSES)"
+
 kill -TERM "$PID"
 wait "$PID" || { echo "catad-smoke: unclean exit"; cat "$DIR/log"; exit 1; }
 PID=""
