@@ -45,8 +45,13 @@ bench-capture:
 # Captures to BENCH_OUT and gates it against the committed baseline:
 # fails on >BENCH_TOL ns/op or allocs/op regression, or any checksum
 # drift. Timings are machine-dependent — regenerate the baseline on your
-# hardware before trusting the ns/op gate locally.
+# hardware before trusting the ns/op gate locally. The probe-overhead
+# guard runs first: the disabled flight-recorder path must stay at zero
+# allocations and recording must not perturb any result, so the
+# checksums gated below are trace-invariant by construction.
 bench-check:
+	$(GO) test -run 'ZeroAllocs' -count=1 ./internal/probe
+	$(GO) test -run 'TestRecorderBehavioralInvariance' -count=1 ./internal/exp
 	@mkdir -p $(dir $(BENCH_OUT))
 	$(GO) run ./cmd/catabench -out $(BENCH_OUT) \
 		$(if $(BENCH_PROFILES),-cpuprofile $(BENCH_PROFILES) -memprofile $(BENCH_PROFILES))

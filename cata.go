@@ -213,12 +213,21 @@ type RunConfig struct {
 	// TransitionLatency overrides the DVFS transition latency (zero keeps
 	// the Table I value of 25 µs). Used by the latency ablation.
 	TransitionLatency time.Duration `json:"transition_latency_ns,omitempty"`
-	// TraceTo, when non-nil, receives the run's task timeline as a
+	// Trace asks the service to record the run's full flight recording —
+	// task spans, per-core frequency and power-vs-budget counter tracks,
+	// reconfiguration instants, dependence flow arrows — and retain it
+	// with the job. Fetch it with ServiceClient.Trace or
+	// GET /v1/jobs/{id}/trace; it loads in Perfetto or chrome://tracing.
+	// Ignored for local Run calls: use TraceTo there.
+	Trace bool `json:"trace,omitempty"`
+	// TraceTo, when non-nil, receives the same flight recording as a
 	// Chrome trace JSON document (open in chrome://tracing or Perfetto).
 	TraceTo io.Writer `json:"-"`
 	// TimelineTo, when non-nil, receives a per-core ASCII Gantt chart of
 	// the run ('#' critical tasks, '=' non-critical, '.' idle).
 	TimelineTo io.Writer `json:"-"`
+	// TimelineWidth is the ASCII chart width in columns (default 100).
+	TimelineWidth int `json:"timeline_width,omitempty"`
 }
 
 // Result is the outcome of one simulation. The JSON form (snake_case
@@ -297,6 +306,7 @@ func (cfg RunConfig) spec() (exp.RunSpec, error) {
 		TransitionLatency: sim.Time(cfg.TransitionLatency.Nanoseconds()) * sim.Nanosecond,
 		Trace:             cfg.TraceTo,
 		Timeline:          cfg.TimelineTo,
+		TimelineWidth:     cfg.TimelineWidth,
 	}
 	if cfg.Program != nil {
 		if err := cfg.Program.Err(); err != nil {

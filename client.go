@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 )
@@ -253,6 +254,38 @@ func (c *ServiceClient) Metrics(ctx context.Context) (string, error) {
 		return "", &ServiceError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(body))}
 	}
 	return string(body), err
+}
+
+// Trace fetches GET /v1/jobs/{id}/trace: the Chrome trace JSON
+// document retained with a job that was submitted with
+// RunConfig.Trace set, once the job has finished. The bytes are the
+// flight recording — task spans, per-core frequency and
+// power-vs-budget counters, reconfiguration instants, dependence flow
+// arrows — ready to write to a file and load in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. A *ServiceError with
+// StatusCode 404 means the job is unknown or recorded no trace.
+func (c *ServiceClient) Trace(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+url.PathEscape(id)+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<28))
+	if resp.StatusCode/100 != 2 {
+		msg := strings.TrimSpace(string(body))
+		var wire struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &wire) == nil && wire.Error != "" {
+			msg = wire.Error
+		}
+		return nil, &ServiceError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return body, err
 }
 
 // Policies fetches GET /v1/policies: the daemon's policy table, as

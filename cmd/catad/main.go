@@ -16,6 +16,12 @@
 //	GET    /v1/jobs/{id}         one job's status and results
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/jobs/{id}/events  SSE progress stream
+//	GET    /v1/jobs/{id}/trace   Chrome/Perfetto trace of a traced job
+//
+// The daemon logs structured JSON records (log/slog) to stderr. Every
+// request gets a req_id; job records carry both req_id and job_id, so
+// one grep follows a submission from admission through its terminal
+// state.
 //
 // With -debug-addr set, a second listener additionally serves
 // net/http/pprof under /debug/pprof/ (plus a /metrics mirror) — opt-in
@@ -30,7 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -64,7 +70,7 @@ func main() {
 // handled: drain jobs first (so SSE streams end naturally and results
 // persist to the cache), then close the HTTP listener.
 func run(addr string, workers, queue, simPar, retain int, cache string, drainTimeout time.Duration, debugAddr string) error {
-	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	srv, err := server.New(server.Config{
 		Workers:        workers,
@@ -72,7 +78,7 @@ func run(addr string, workers, queue, simPar, retain int, cache string, drainTim
 		SimParallelism: simPar,
 		RetainJobs:     retain,
 		CachePath:      cache,
-		Logf:           logger.Printf,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
@@ -87,9 +93,10 @@ func run(addr string, workers, queue, simPar, retain int, cache string, drainTim
 
 	// The "listening on" line is the startup contract: the smoke script
 	// and the e2e test parse the bound address from it (ports may be
-	// ephemeral via -addr :0).
-	logger.Printf("catad: listening on %s (workers=%d queue=%d cache=%q)",
-		ln.Addr(), workers, queue, cache)
+	// ephemeral via -addr :0). The message stays formatted — consumers
+	// cut at "listening on " and take the next space-delimited token.
+	logger.Info(fmt.Sprintf("catad: listening on %s (workers=%d queue=%d cache=%q)",
+		ln.Addr(), workers, queue, cache))
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
@@ -111,7 +118,7 @@ func run(addr string, workers, queue, simPar, retain int, cache string, drainTim
 		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		ds = &http.Server{Handler: dm}
-		logger.Printf("catad: debug listening on %s (pprof + metrics)", dln.Addr())
+		logger.Info("debug listener up (pprof + metrics)", "addr", dln.Addr().String())
 		go func() { _ = ds.Serve(dln) }()
 	}
 
@@ -123,20 +130,22 @@ func run(addr string, workers, queue, simPar, retain int, cache string, drainTim
 	case <-ctx.Done():
 	}
 	stop()
-	logger.Printf("catad: signal received; draining (deadline %v)", drainTimeout)
+	logger.Info("signal received; draining", "deadline", drainTimeout.String())
 
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {
-		logger.Printf("catad: drain incomplete: %v", err)
+		logger.Warn("drain incomplete", "err", err.Error())
 	}
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("catad: shutdown: %v", err)
+		logger.Warn("shutdown error", "err", err.Error())
 	}
 	if ds != nil {
 		_ = ds.Close()
 	}
 	<-errCh // Serve has returned http.ErrServerClosed
-	logger.Printf("catad: exited cleanly")
+	// "exited cleanly" is the shutdown contract the smoke script and the
+	// e2e test grep for.
+	logger.Info("catad: exited cleanly")
 	return nil
 }

@@ -37,10 +37,11 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload scale in (0,1]")
 		list     = flag.Bool("list", false, "list registered workloads and their parameters, then exit")
 		baseline = flag.Bool("baseline", false, "also run FIFO and report speedup / normalized EDP")
-		traceOut = flag.String("trace", "", "write a Chrome trace JSON of the run to this file")
+		traceOut = flag.String("trace", "", "write the run's flight recording (Chrome trace JSON) to this file")
 		dotOut   = flag.String("dot", "", "write the workload's TDG as Graphviz DOT to this file and exit")
 		export   = flag.String("export", "", "write the workload as a replayable JSON trace to this file and exit")
 		timeline = flag.Bool("timeline", false, "print a per-core ASCII Gantt chart of the run")
+		tlWidth  = flag.Int("timeline-width", 100, "ASCII Gantt chart width in columns (with -timeline)")
 	)
 	flag.Parse()
 
@@ -92,6 +93,7 @@ func main() {
 	}
 	if *timeline {
 		cfg.TimelineTo = os.Stdout
+		cfg.TimelineWidth = *tlWidth
 	}
 	var traceFile *os.File
 	if *traceOut != "" {
@@ -136,7 +138,7 @@ func main() {
 		if err := traceFile.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("trace written to %s (open in chrome://tracing)\n", *traceOut)
+		fmt.Printf("trace written to %s (open in Perfetto — ui.perfetto.dev — or chrome://tracing)\n", *traceOut)
 	}
 
 	fmt.Printf("%s on %d cores (%d fast) under %v, seed %d, scale %g\n",

@@ -5,6 +5,7 @@ import (
 
 	"cata/internal/energy"
 	"cata/internal/machine"
+	"cata/internal/probe"
 	"cata/internal/sim"
 	"cata/internal/stats"
 )
@@ -69,6 +70,10 @@ type Framework struct {
 
 	hkArmed      bool
 	hkLastWrites int64
+
+	// rec, when non-nil, receives one WriteEvent per completed policy
+	// write, carrying the lock-wait share of the total latency.
+	rec probe.Recorder
 }
 
 // New returns a framework bound to the machine.
@@ -81,6 +86,9 @@ func New(eng *sim.Engine, mach *machine.Machine, costs Costs) *Framework {
 		perCaller: make([]stats.DurationSummary, mach.Cores()),
 	}
 }
+
+// SetRecorder attaches a flight recorder reporting completed writes.
+func (f *Framework) SetRecorder(rec probe.Recorder) { f.rec = rec }
 
 // armHousekeeping starts the periodic kernel housekeeping on the first
 // write and keeps it running only while writes keep coming, so an idle
@@ -127,8 +135,13 @@ func (f *Framework) Write(caller, target int, level energy.Level, done func()) {
 	// 1. User→kernel: file write, interrupt, kernel entry.
 	core.Exec(f.costs.UserKernelCycles, 0, func() {
 		// 2. The driver runs under the global cpufreq lock. The core
-		// blocks (stays busy / C0-active) until granted.
+		// blocks (stays busy / C0-active) until granted. lockStart and
+		// lockWait are assigned once before the closures that read them
+		// are created, so they are captured by value — recording adds no
+		// allocation to the write path.
+		lockStart := f.eng.Now()
 		f.lock.Acquire(func() {
+			lockWait := f.eng.Now() - lockStart
 			// 3. Driver computation + device register programming.
 			core.Exec(f.costs.DriverCycles, f.costs.DriverFixed, func() {
 				// 4. Kick the hardware transition.
@@ -139,6 +152,9 @@ func (f *Framework) Write(caller, target int, level energy.Level, done func()) {
 					lat := f.eng.Now() - start
 					f.writeLat.ObserveTime(lat)
 					f.perCaller[caller].ObserveTime(lat)
+					if f.rec != nil {
+						f.rec.CpufreqWrite(f.eng.Now(), caller, target, int(level), lockWait, lat)
+					}
 					done()
 				})
 			})

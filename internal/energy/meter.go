@@ -3,6 +3,7 @@ package energy
 import (
 	"fmt"
 
+	"cata/internal/probe"
 	"cata/internal/sim"
 )
 
@@ -19,6 +20,10 @@ type Meter struct {
 	joules float64
 	start  sim.Time
 	done   bool
+
+	rec      probe.Recorder
+	curWatts float64 // sum of per-core watts at current states (rec != nil only)
+	uncore   float64 // constant uncore watts (UncoreWattsPerCore × cores)
 }
 
 type coreState struct {
@@ -41,6 +46,23 @@ func NewMeter(model *Model, n int, now func() sim.Time) *Meter {
 	return m
 }
 
+// SetRecorder attaches a flight recorder; the meter then reports total
+// chip power (cores + uncore) after every state change, seeded with the
+// power of the current states at attach time. Recording never changes
+// the integrated energy — the running total is a parallel computation.
+func (m *Meter) SetRecorder(rec probe.Recorder) {
+	m.rec = rec
+	if rec == nil {
+		return
+	}
+	m.uncore = m.model.UncoreWattsPerCore * float64(len(m.cores))
+	m.curWatts = 0
+	for i := range m.cores {
+		m.curWatts += m.model.CoreWatts(m.cores[i].level, m.cores[i].cst)
+	}
+	rec.Power(m.now(), m.curWatts+m.uncore)
+}
+
 // SetState records that core changed to (level, cstate) at the current
 // simulation time, charging the interval since the previous change.
 func (m *Meter) SetState(core int, level Level, cst CState) {
@@ -53,6 +75,10 @@ func (m *Meter) SetState(core int, level Level, cst CState) {
 		panic(fmt.Sprintf("energy: core %d time went backwards %v -> %v", core, c.since, t))
 	}
 	m.joules += m.model.CoreWatts(c.level, c.cst) * (t - c.since).Seconds()
+	if m.rec != nil {
+		m.curWatts += m.model.CoreWatts(level, cst) - m.model.CoreWatts(c.level, c.cst)
+		m.rec.Power(t, m.curWatts+m.uncore)
+	}
 	c.level = level
 	c.cst = cst
 	c.since = t

@@ -311,13 +311,23 @@ func TestTraceExport(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("trace not valid JSON: %v", err)
 	}
-	if int64(len(doc.TraceEvents)) != m.TasksRun {
-		t.Fatalf("trace has %d events, ran %d tasks", len(doc.TraceEvents), m.TasksRun)
-	}
+	phases := make(map[string]int)
 	for _, e := range doc.TraceEvents {
-		if e.Ph != "X" || e.Dur <= 0 || e.Tid < 0 || e.Tid >= 8 {
-			t.Fatalf("malformed event %+v", e)
+		phases[e.Ph]++
+		if e.Ph == "X" && (e.Dur <= 0 || e.Tid < 0 || e.Tid >= 8) {
+			t.Fatalf("malformed task span %+v", e)
 		}
+	}
+	// The deep trace carries one "X" span per executed task plus the
+	// flight-recorder tracks: metadata, counters, instants, flows.
+	if int64(phases["X"]) != m.TasksRun {
+		t.Fatalf("trace has %d task spans, ran %d tasks", phases["X"], m.TasksRun)
+	}
+	if phases["M"] == 0 || phases["C"] == 0 || phases["i"] == 0 {
+		t.Fatalf("deep trace missing phases: %v", phases)
+	}
+	if phases["s"] != phases["f"] {
+		t.Fatalf("unbalanced flow events: %v", phases)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"cata/internal/cpufreq"
 	"cata/internal/machine"
+	"cata/internal/probe"
 	"cata/internal/rsm"
 	"cata/internal/rsu"
 	"cata/internal/rts"
@@ -165,6 +166,11 @@ type rig struct {
 	mlUnit  *rsu.MultiLevel
 	turboC  *turbo.Controller
 	fw      *cpufreq.Framework
+
+	// probe is the flight recorder, non-nil only when the spec requested
+	// a trace; fast snapshots the core classes at time zero.
+	probe *probe.Buffer
+	fast  []bool
 }
 
 // buildRig assembles the policy's full stack for one run.
@@ -196,6 +202,14 @@ func buildRig(spec RunSpec, prog programHolder) (*rig, error) {
 		Options:   opts,
 	}
 	r := &rig{eng: eng, mach: mach}
+	if spec.Trace != nil {
+		// Attach the flight recorder before the policy switch so the
+		// static class assignment (SetHeterogeneous) is captured as the
+		// frequency counters' seed transitions.
+		r.probe = probe.NewBuffer()
+		mach.SetRecorder(r.probe)
+		cfg.Recorder = r.probe
+	}
 
 	switch spec.Policy {
 	case FIFO:
@@ -240,6 +254,22 @@ func buildRig(spec RunSpec, prog programHolder) (*rig, error) {
 		cfg.NewScheduler = func(info sched.CoreInfo) sched.Scheduler { return sched.NewFIFO(info) }
 	default:
 		return nil, fmt.Errorf("exp: unknown policy %v", spec.Policy)
+	}
+
+	if r.probe != nil {
+		if r.fw != nil {
+			r.fw.SetRecorder(r.probe)
+		}
+		if r.rsmMod != nil {
+			r.rsmMod.SetRecorder(r.probe)
+		}
+		if r.rsuUnit != nil {
+			r.rsuUnit.SetRecorder(r.probe)
+		}
+		r.fast = make([]bool, mach.Cores())
+		for i := range r.fast {
+			r.fast[i] = mach.IsFastCore(i)
+		}
 	}
 
 	r.runtime, err = rts.New(eng, cfg)

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestRecorderBehavioralInvariance pins the flight recorder's second
+// contract (the first — zero allocations on the disabled path — lives in
+// internal/probe): attaching a recorder must not change any result. The
+// probe sites are pure observers and the ready-queue sampler only reads,
+// so a traced run and an untraced run of the same spec must produce
+// bit-identical measurements. Policies cover every probe site: CATA
+// (RSM, cpufreq lock, DVFS), CATA+RSU (hardware grants) and CATS+SA
+// (split queues, static classes).
+func TestRecorderBehavioralInvariance(t *testing.T) {
+	for _, policy := range []Policy{CATA, CATARSU, CATSSA} {
+		spec := RunSpec{
+			Workload: "swaptions", Policy: policy,
+			FastCores: 4, Cores: 8, Scale: 0.1,
+		}
+		plain, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		traced := spec
+		traced.Trace = io.Discard
+		probed, err := Run(traced)
+		if err != nil {
+			t.Fatalf("%v traced: %v", policy, err)
+		}
+		if plain.Makespan != probed.Makespan {
+			t.Errorf("%v: makespan %v with recorder, %v without", policy, probed.Makespan, plain.Makespan)
+		}
+		if plain.Joules != probed.Joules {
+			t.Errorf("%v: joules %v with recorder, %v without", policy, probed.Joules, plain.Joules)
+		}
+		if plain.TasksRun != probed.TasksRun {
+			t.Errorf("%v: tasks %d with recorder, %d without", policy, probed.TasksRun, plain.TasksRun)
+		}
+		if plain.Transitions != probed.Transitions {
+			t.Errorf("%v: transitions %d with recorder, %d without", policy, probed.Transitions, plain.Transitions)
+		}
+	}
+}
+
+// TestTracedRunProducesOutput sanity-checks that the invariance above is
+// not vacuous: the traced runs actually recorded something.
+func TestTracedRunProducesOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Run(RunSpec{
+		Workload: "swaptions", Policy: CATA,
+		FastCores: 4, Cores: 8, Scale: 0.1, Trace: &buf,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("traced run wrote no trace")
+	}
+}

@@ -42,11 +42,16 @@ type RunSpec struct {
 	// TransitionLatency overrides the DVFS transition latency (0 keeps
 	// the Table I 25 µs). Used by the latency-sensitivity ablation.
 	TransitionLatency sim.Time
-	// Trace, when non-nil, receives the run's task timeline as a Chrome
-	// trace JSON document.
+	// Trace, when non-nil, receives the run's full flight recording as a
+	// Chrome/Perfetto trace JSON document: task spans, per-core frequency
+	// and power-vs-budget counter tracks, reconfiguration instants and
+	// dependence flow arrows. Requesting a trace attaches the probe
+	// recorder; results are bit-identical with and without it.
 	Trace io.Writer
 	// Timeline, when non-nil, receives a per-core ASCII Gantt chart.
 	Timeline io.Writer
+	// TimelineWidth is the ASCII chart width in columns (default 100).
+	TimelineWidth int
 }
 
 // withDefaults fills zero fields.
@@ -177,12 +182,30 @@ func Run(spec RunSpec) (Measurement, error) {
 	}
 	joules := rig.mach.FinishEnergy()
 	if spec.Trace != nil {
-		if err := trace.Write(spec.Trace, rig.runtime.Tasks()); err != nil {
+		workload := spec.Workload
+		if workload == "" {
+			workload = prog.Name
+		}
+		rec := &trace.Recording{
+			Workload:    workload,
+			Policy:      spec.Policy.String(),
+			Cores:       rig.mach.Cores(),
+			Fast:        rig.fast,
+			Budget:      spec.FastCores,
+			BudgetWatts: budgetWatts(spec, rig),
+			Tasks:       rig.runtime.Tasks(),
+			Probe:       rig.probe,
+		}
+		if err := trace.WriteRecording(spec.Trace, rec); err != nil {
 			return Measurement{}, fmt.Errorf("%v: writing trace: %w", spec, err)
 		}
 	}
 	if spec.Timeline != nil {
-		if err := trace.RenderASCII(spec.Timeline, rig.runtime.Tasks(), 100); err != nil {
+		width := spec.TimelineWidth
+		if width == 0 {
+			width = 100
+		}
+		if err := trace.RenderASCII(spec.Timeline, rig.runtime.Tasks(), width); err != nil {
 			return Measurement{}, fmt.Errorf("%v: rendering timeline: %w", spec, err)
 		}
 	}
@@ -240,6 +263,21 @@ func Run(spec RunSpec) (Measurement, error) {
 	}
 	observeRun(m, rig.eng.Fired(), wallElapsed)
 	return m, nil
+}
+
+// budgetWatts computes the run's power-budget reference for the trace's
+// power counter track: the chip power with the budgeted number of cores
+// at the fast level in C0-active, the rest slow, plus the uncore term.
+func budgetWatts(spec RunSpec, r *rig) float64 {
+	cfg := &r.mach.Cfg
+	fast := spec.FastCores
+	if fast > spec.Cores {
+		fast = spec.Cores
+	}
+	slow := spec.Cores - fast
+	return float64(fast)*cfg.Power.CoreWatts(cfg.FastLevel, energy.C0Active) +
+		float64(slow)*cfg.Power.CoreWatts(cfg.SlowLevel, energy.C0Active) +
+		cfg.Power.UncoreWattsPerCore*float64(spec.Cores)
 }
 
 // schedStats extracts dispatch statistics from whichever scheduler ran.

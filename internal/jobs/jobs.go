@@ -146,14 +146,15 @@ type Job struct {
 	cancel    context.CancelFunc
 	mgr       *Manager
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	state    State
-	started  time.Time
-	finished time.Time
-	err      string
-	result   json.RawMessage
-	events   []Event
+	mu        sync.Mutex
+	cond      *sync.Cond
+	state     State
+	started   time.Time
+	finished  time.Time
+	err       string
+	result    json.RawMessage
+	events    []Event
+	artifacts map[string][]byte
 }
 
 // ID returns the job's manager-assigned identifier.
@@ -171,6 +172,37 @@ func (j *Job) Status() Status {
 		Events: len(j.events),
 		Result: j.result,
 	}
+}
+
+// artifactCtxKey carries the owning *Job inside the job's context so a
+// running Fn can attach artifacts without closing over the Job (which
+// may not exist yet when the Fn closure is built).
+type artifactCtxKey struct{}
+
+// StoreArtifact attaches a named byte artifact (e.g. a trace document)
+// to the job whose Fn is running under ctx. It reports whether a job
+// was found; artifacts live and die with the job — evicted together by
+// the retention pruner. Storing the same name again replaces the data.
+func StoreArtifact(ctx context.Context, name string, data []byte) bool {
+	j, ok := ctx.Value(artifactCtxKey{}).(*Job)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.artifacts == nil {
+		j.artifacts = make(map[string][]byte)
+	}
+	j.artifacts[name] = data
+	return true
+}
+
+// Artifact returns the named artifact attached to the job, if any.
+func (j *Job) Artifact(name string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, ok := j.artifacts[name]
+	return data, ok
 }
 
 // appendLocked stamps and records an event; j.mu must be held.
@@ -430,6 +462,10 @@ func (m *Manager) Submit(kind, label string, fn Fn) (*Job, error) {
 		state: Queued,
 	}
 	j.cond = sync.NewCond(&j.mu)
+	// The job rides inside its own context so the running Fn can attach
+	// artifacts via StoreArtifact. Attached here (not captured in fn)
+	// because a worker may pop the job before Submit returns.
+	j.ctx = context.WithValue(ctx, artifactCtxKey{}, j)
 	// The queued event is recorded before the job becomes visible to
 	// workers, so the log always starts with it.
 	j.events = []Event{{Seq: 0, Time: j.submitted, Type: EventState, State: Queued}}

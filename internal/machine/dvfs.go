@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cata/internal/energy"
+	"cata/internal/probe"
 	"cata/internal/sim"
 	"cata/internal/stats"
 )
@@ -29,6 +30,9 @@ type DVFSController struct {
 
 	// onActual is invoked after a core's physical level changes.
 	onActual func(core int, level energy.Level)
+
+	// rec, when non-nil, receives requested/actual transition events.
+	rec probe.Recorder
 
 	// Stats.
 	transitions   int64
@@ -62,6 +66,10 @@ func (d *DVFSController) OnActualChange(fn func(core int, level energy.Level)) {
 	d.onActual = fn
 }
 
+// SetRecorder attaches a flight recorder. Committed target requests and
+// physical level changes are reported; coalesced no-op requests are not.
+func (d *DVFSController) SetRecorder(rec probe.Recorder) { d.rec = rec }
+
 // Actual returns the core's current physical operating level.
 func (d *DVFSController) Actual(core int) energy.Level { return d.cores[core].actual }
 
@@ -87,6 +95,9 @@ func (d *DVFSController) SetInitial(core int, level energy.Level) {
 	if d.onActual != nil {
 		d.onActual(core, level)
 	}
+	if d.rec != nil {
+		d.rec.FreqActual(d.eng.Now(), core, int(level), d.cfg.Power.Point(level).Freq, 0)
+	}
 }
 
 // Request asks for core to move to level. It returns immediately; the
@@ -104,6 +115,9 @@ func (d *DVFSController) Request(core int, level energy.Level) {
 	}
 	c.target = level
 	c.requestedAt = d.eng.Now()
+	if d.rec != nil {
+		d.rec.FreqRequest(c.requestedAt, core, int(level))
+	}
 	if !c.inFlight {
 		d.begin(core)
 	}
@@ -124,11 +138,16 @@ func (d *DVFSController) complete(core int) {
 	c.inFlight = false
 	changed := c.actual != c.inFlightTo
 	c.actual = c.inFlightTo
+	var settle sim.Time
 	if c.actual == c.target {
-		d.settleLatency.ObserveTime(d.eng.Now() - c.requestedAt)
+		settle = d.eng.Now() - c.requestedAt
+		d.settleLatency.ObserveTime(settle)
 	}
 	if changed && d.onActual != nil {
 		d.onActual(core, c.actual)
+	}
+	if changed && d.rec != nil {
+		d.rec.FreqActual(d.eng.Now(), core, int(c.actual), d.cfg.Power.Point(c.actual).Freq, settle)
 	}
 	if c.target != c.actual {
 		d.begin(core) // target moved while we were transitioning

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cata/internal/energy"
+	"cata/internal/probe"
 	"cata/internal/sim"
 )
 
@@ -75,6 +76,24 @@ func (m *Machine) haltListener(core int) {
 func (m *Machine) wakeListener(core int) {
 	if m.onWake != nil {
 		m.onWake(core)
+	}
+}
+
+// SetRecorder attaches a flight recorder to the machine: the DVFS
+// controller reports requested/actual transitions and the energy meter
+// reports total-chip-power changes. Each core's current physical level is
+// reported immediately so the trace's frequency counter tracks have a
+// seed value at attach time; attach before SetHeterogeneous to also see
+// the static class assignment as transitions.
+func (m *Machine) SetRecorder(rec probe.Recorder) {
+	m.DVFS.SetRecorder(rec)
+	m.Meter.SetRecorder(rec)
+	if rec == nil {
+		return
+	}
+	for i := range m.cores {
+		lvl := m.DVFS.Actual(i)
+		rec.FreqActual(m.Eng.Now(), i, int(lvl), m.Cfg.Power.Point(lvl).Freq, 0)
 	}
 }
 

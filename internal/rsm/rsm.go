@@ -15,6 +15,7 @@ import (
 
 	"cata/internal/cpufreq"
 	"cata/internal/machine"
+	"cata/internal/probe"
 	"cata/internal/sim"
 	"cata/internal/stats"
 )
@@ -73,6 +74,9 @@ type RSM struct {
 	accels, decels int64
 	opLatency      stats.DurationSummary // TaskStart/TaskEnd entry→exit
 	opTimeTotal    sim.Time              // total time cores spent reconfiguring
+
+	// rec, when non-nil, receives grant/deny events with budget state.
+	rec probe.Recorder
 }
 
 // New creates an RSM with the given power budget (maximum number of
@@ -92,6 +96,10 @@ func New(eng *sim.Engine, mach *machine.Machine, fw *cpufreq.Framework, budget i
 		BookkeepingCycles: 400,
 	}
 }
+
+// SetRecorder attaches a flight recorder reporting acceleration grants
+// and denials together with the budget state at decision time.
+func (r *RSM) SetRecorder(rec probe.Recorder) { r.rec = rec }
 
 // Budget returns the power budget.
 func (r *RSM) Budget() int { return r.budget }
@@ -177,10 +185,16 @@ func (r *RSM) TaskStart(core int, critical bool, done func()) {
 				} else {
 					// All accelerated cores run critical tasks: run slow.
 					r.denies++
+					if r.rec != nil {
+						r.rec.AccelDeny(r.eng.Now(), core, true, r.nAccel, r.budget)
+					}
 					r.finishOp(core, start, done)
 				}
 			default:
 				r.denies++
+				if r.rec != nil {
+					r.rec.AccelDeny(r.eng.Now(), core, false, r.nAccel, r.budget)
+				}
 				r.finishOp(core, start, done)
 			}
 		})
@@ -245,6 +259,9 @@ func (r *RSM) accelerate(core int) {
 	r.accels++
 	if r.nAccel > r.budget {
 		panic(fmt.Sprintf("rsm: budget exceeded: %d > %d", r.nAccel, r.budget))
+	}
+	if r.rec != nil {
+		r.rec.AccelGrant(r.eng.Now(), core, r.crit[core] == Critical, r.nAccel, r.budget)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"cata/internal/energy"
 	"cata/internal/machine"
+	"cata/internal/probe"
 	"cata/internal/rsm"
 	"cata/internal/sim"
 )
@@ -40,6 +41,9 @@ type RSU struct {
 
 	accels, decels int64
 	ops            int64
+
+	// rec, when non-nil, receives grant/deny events with budget state.
+	rec probe.Recorder
 }
 
 // New returns a disabled RSU attached to the machine. Call Init before use
@@ -55,6 +59,10 @@ func New(eng *sim.Engine, mach *machine.Machine) *RSU {
 	}
 	return r
 }
+
+// SetRecorder attaches a flight recorder reporting acceleration grants
+// and denials together with the budget state at decision time.
+func (r *RSU) SetRecorder(rec probe.Recorder) { r.rec = rec }
 
 // Init implements rsu_init: enable the unit with the given power budget.
 func (r *RSU) Init(budget int) {
@@ -121,6 +129,13 @@ func (r *RSU) StartTask(core int, critical bool) {
 		if victim := r.findVictim(); victim >= 0 {
 			r.decelerate(victim)
 			r.accelerate(core)
+		} else if r.rec != nil {
+			// All accelerated cores run critical tasks: run slow.
+			r.rec.AccelDeny(r.eng.Now(), core, true, r.nAccel, r.budget)
+		}
+	default:
+		if r.rec != nil {
+			r.rec.AccelDeny(r.eng.Now(), core, false, r.nAccel, r.budget)
 		}
 	}
 }
@@ -193,6 +208,9 @@ func (r *RSU) accelerate(core int) {
 	r.accels++
 	if r.nAccel > r.budget {
 		panic(fmt.Sprintf("rsu: budget exceeded: %d > %d", r.nAccel, r.budget))
+	}
+	if r.rec != nil {
+		r.rec.AccelGrant(r.eng.Now(), core, r.crit[core] == rsm.Critical, r.nAccel, r.budget)
 	}
 	r.mach.DVFS.Request(core, r.accelLevel)
 }

@@ -4,12 +4,19 @@ import (
 	"fmt"
 
 	"cata/internal/machine"
+	"cata/internal/probe"
 	"cata/internal/program"
 	"cata/internal/sched"
 	"cata/internal/sim"
 	"cata/internal/stats"
 	"cata/internal/tdg"
 )
+
+// queueSamplePeriod is the ready-queue sampling cadence while a probe
+// recorder is attached: fine enough to show queue breathing around
+// barriers at the experiments' scales, coarse enough to stay a small
+// fraction of recorded events.
+const queueSamplePeriod = 50 * sim.Microsecond
 
 // Config assembles a runtime. NewScheduler receives the runtime itself as
 // sched.CoreInfo (core classes and idle information), breaking the
@@ -21,6 +28,11 @@ type Config struct {
 	Estimator    sched.Estimator
 	Reconfig     Reconfigurer
 	Options      Options
+	// Recorder, when non-nil, receives task lifecycle events and the
+	// periodic ready-queue samples (the runtime's share of the flight
+	// recorder). Recording is a pure observation: makespans and every
+	// other result are bit-identical with and without it.
+	Recorder probe.Recorder
 }
 
 // Result summarizes one run.
@@ -53,6 +65,9 @@ type Runtime struct {
 	est      sched.Estimator
 	reconfig Reconfigurer
 	opts     Options
+	rec      probe.Recorder
+	critq    sched.CritQueue // non-nil when schedq splits by criticality
+	sampleCb func()          // re-armed ready-queue sampler continuation
 
 	graph *tdg.Graph
 	// idle indexes the cores currently in the runtime idle set; critRunning
@@ -119,6 +134,7 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 		est:         cfg.Estimator,
 		reconfig:    cfg.Reconfig,
 		opts:        cfg.Options,
+		rec:         cfg.Recorder,
 		idle:        newCoreSet(cfg.Machine.Cores()),
 		critRunning: newCoreSet(cfg.Machine.Cores()),
 	}
@@ -139,6 +155,11 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 	r.schedq = cfg.NewScheduler(r)
 	if r.schedq == nil {
 		return nil, fmt.Errorf("rts: NewScheduler returned nil")
+	}
+	if r.rec != nil {
+		if cq, ok := r.schedq.(sched.CritQueue); ok {
+			r.critq = cq
+		}
 	}
 	return r, nil
 }
@@ -184,6 +205,13 @@ func (r *Runtime) Run() (Result, error) {
 				r.eng.Stop()
 			}
 		})
+	}
+	if r.rec != nil {
+		// The sampler is scheduled only while a recorder is attached —
+		// it is read-only, so task timing is unchanged, and with no
+		// recorder the event queue is bit-identical to the unprobed run.
+		r.sampleCb = r.sampleQueues
+		r.eng.After(queueSamplePeriod, r.sampleCb)
 	}
 	r.eng.Run()
 
@@ -282,8 +310,26 @@ func (r *Runtime) creatorStep() {
 func (r *Runtime) onTaskReady(t *tdg.Task) {
 	t.ReadyAt = r.eng.Now()
 	r.est.Estimate(t, r.graph)
+	if r.rec != nil {
+		r.rec.TaskReady(t.ReadyAt, t)
+	}
 	r.schedq.Enqueue(t)
 	r.wakeForTask(t)
+}
+
+// sampleQueues is the periodic ready-queue probe: it reads the
+// scheduler's depth (and the critical share when the policy splits
+// queues) and re-arms itself until the run finishes.
+func (r *Runtime) sampleQueues() {
+	if r.finished || r.timedOut {
+		return
+	}
+	crit := 0
+	if r.critq != nil {
+		crit = r.critq.CritLen()
+	}
+	r.rec.QueueDepth(r.eng.Now(), r.schedq.Len(), crit)
+	r.eng.After(queueSamplePeriod, r.sampleCb)
 }
 
 // wakeForTask wakes at most one idle core for a newly ready task.
@@ -364,6 +410,9 @@ func (r *Runtime) goIdle(core int) {
 func (r *Runtime) dispatch(core int, t *tdg.Task) {
 	cs := &r.percore[core]
 	cs.task = t
+	if r.rec != nil {
+		r.rec.TaskDispatch(r.eng.Now(), t, core)
+	}
 	r.mach.Core(core).Exec(r.opts.DispatchCycles, 0, cs.dispatchedCb)
 }
 
@@ -379,6 +428,9 @@ func (cs *coreRun) startBody() {
 	t.StartedAt = r.eng.Now()
 	t.Core = cs.core
 	r.readyWait.ObserveTime(t.StartedAt - t.ReadyAt)
+	if r.rec != nil {
+		r.rec.TaskStart(t.StartedAt, t, cs.core, t.StartedAt-t.ReadyAt)
+	}
 	if t.Critical {
 		r.critTasks++
 		r.critRunning.set(cs.core)
@@ -397,6 +449,9 @@ func (cs *coreRun) bodyDone() {
 func (cs *coreRun) complete() {
 	r, t := cs.r, cs.task
 	t.EndedAt = r.eng.Now()
+	if r.rec != nil {
+		r.rec.TaskEnd(t.EndedAt, t, cs.core)
+	}
 	r.critRunning.clear(cs.core)
 	r.reconfig.TaskEnd(cs.core, t, cs.endedCb)
 }

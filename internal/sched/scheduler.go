@@ -17,6 +17,15 @@ type Scheduler interface {
 	Len() int
 }
 
+// CritQueue is an optional Scheduler refinement: policies that split
+// ready tasks by criticality expose the high-priority queue's depth so
+// the flight recorder (internal/probe) can sample the critical share of
+// the backlog. Policies with a single queue simply don't implement it.
+type CritQueue interface {
+	// CritLen returns the number of queued critical tasks.
+	CritLen() int
+}
+
 // CoreInfo is what CATS needs to know about the machine: the static core
 // classes and whether any fast core is currently idle (its stealing rule:
 // "task stealing from the HPRQ is accepted only if no fast cores are
@@ -143,6 +152,9 @@ func (c *CATS) Dequeue(core int) *tdg.Task {
 // Len implements Scheduler.
 func (c *CATS) Len() int { return c.hprq.Len() + c.lprq.Len() }
 
+// CritLen implements CritQueue: the HPRQ depth.
+func (c *CATS) CritLen() int { return c.hprq.Len() }
+
 // Stats returns dispatch statistics.
 func (c *CATS) Stats() *Stats { return &c.stats }
 
@@ -197,6 +209,9 @@ func (c *CritFirst) Dequeue(int) *tdg.Task {
 
 // Len implements Scheduler.
 func (c *CritFirst) Len() int { return c.hprq.Len() + c.lprq.Len() }
+
+// CritLen implements CritQueue: the critical queue's depth.
+func (c *CritFirst) CritLen() int { return c.hprq.Len() }
 
 // Stats returns dispatch statistics.
 func (c *CritFirst) Stats() *Stats { return &c.stats }

@@ -2,7 +2,9 @@
 // sweep submission (POST /v1/runs, POST /v1/sweeps — the request bodies
 // are the public API's RunConfig and MatrixConfig JSON forms), job
 // introspection and cancellation (/v1/jobs), SSE progress streaming
-// (/v1/jobs/{id}/events), registry introspection (/v1/policies,
+// (/v1/jobs/{id}/events), flight-recording retrieval
+// (/v1/jobs/{id}/trace — the Chrome trace JSON captured for jobs
+// submitted with "trace": true), registry introspection (/v1/policies,
 // /v1/workloads), /healthz, and the Prometheus scrape endpoint
 // /metrics (queue depth, jobs by state, cache hit rate, engine
 // events/sec, acceleration decisions). Jobs execute on a bounded
@@ -12,13 +14,16 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
 
 	"cata"
 	"cata/internal/jobs"
@@ -46,9 +51,12 @@ type Config struct {
 	// result cache: every completed run persists to it, and identical
 	// resubmissions are served from it without re-simulating.
 	CachePath string
-	// Logf, when non-nil, receives one line per request and job
-	// transition (e.g. log.Printf).
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured request and job
+	// lifecycle records: one per inbound request (req_id, method,
+	// path) and one per job transition (job_id correlated back to the
+	// admitting req_id, so a request can be followed from admission
+	// through run to its terminal state). Nil discards everything.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -61,8 +69,8 @@ func (c Config) withDefaults() Config {
 	if c.SimParallelism <= 0 {
 		c.SimParallelism = max(1, runtime.GOMAXPROCS(0)/c.Workers)
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -70,10 +78,11 @@ func (c Config) withDefaults() Config {
 // Server is the catad daemon: an HTTP handler over a bounded job
 // manager and one shared result cache.
 type Server struct {
-	cfg   Config
-	mgr   *jobs.Manager
-	mux   *http.ServeMux
-	cache *cata.BatchCache // nil when caching is disabled
+	cfg    Config
+	mgr    *jobs.Manager
+	mux    *http.ServeMux
+	cache  *cata.BatchCache // nil when caching is disabled
+	reqSeq atomic.Uint64    // request-ID counter for log correlation
 }
 
 // New builds a server, opens its result cache, and starts its worker
@@ -107,6 +116,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	return s, nil
 }
 
@@ -118,18 +128,37 @@ func (s *Server) Close() error {
 	return s.cache.Close()
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// reqIDKey carries the per-request correlation ID through a request's
+// context.
+type reqIDKey struct{}
+
+// requestID extracts the correlation ID Handler attached, or "".
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// Handler returns the daemon's HTTP handler. Every request is tagged
+// with a req_id and logged; handlers thread the id into job lifecycle
+// records so one grep follows a submission end to end.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
+		s.cfg.Logger.Info("request", "req_id", id, "method", r.Method, "path", r.URL.Path)
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Drain gracefully shuts the job manager down: admission stops (new
 // submissions get 503), queued and running jobs finish, and past ctx's
 // deadline everything still in flight is canceled. Call before shutting
 // the HTTP listener down so in-flight SSE streams end naturally.
 func (s *Server) Drain(ctx context.Context) error {
-	s.cfg.Logf("catad: draining jobs")
+	s.cfg.Logger.Info("draining jobs")
 	err := s.mgr.Drain(ctx)
 	queued, running, terminal := s.mgr.Counts()
-	s.cfg.Logf("catad: drained: %d finished, %d queued, %d running", terminal, queued, running)
+	s.cfg.Logger.Info("drained", "finished", terminal, "queued", queued, "running", running)
 	return err
 }
 
@@ -203,7 +232,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	label := fmt.Sprintf("%s/%v/fast=%d", cfg.Workload, cfg.Policy, cfg.FastCores)
-	s.submit(w, "run", label, []cata.RunConfig{cfg})
+	s.submit(w, r, "run", label, []cata.RunConfig{cfg})
 }
 
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
@@ -221,12 +250,12 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.submit(w, "sweep", fmt.Sprintf("%d runs", len(cfgs)), cfgs)
+	s.submit(w, r, "sweep", fmt.Sprintf("%d runs", len(cfgs)), cfgs)
 }
 
 // submit admits a batch of configs as one job and answers 202 with its
 // status, 429 when the queue sheds it, or 503 while draining.
-func (s *Server) submit(w http.ResponseWriter, kind, label string, cfgs []cata.RunConfig) {
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, label string, cfgs []cata.RunConfig) {
 	j, err := s.mgr.Submit(kind, label, s.batchFn(cfgs))
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
@@ -240,15 +269,49 @@ func (s *Server) submit(w http.ResponseWriter, kind, label string, cfgs []cata.R
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.cfg.Logf("catad: %s %s admitted: %s", kind, j.ID(), label)
+	reqID := requestID(r.Context())
+	s.cfg.Logger.Info("job admitted",
+		"req_id", reqID, "job_id", j.ID(), "kind", kind, "label", label)
+	go s.watchJob(j, reqID)
 	writeJSON(w, http.StatusAccepted, wireStatus(j.Status()))
+}
+
+// watchJob follows a job's event log and logs every state transition
+// with the admitting request's correlation ID. The subscription closes
+// itself once the job reaches a terminal state, so the goroutine's
+// lifetime is bounded by the job's.
+func (s *Server) watchJob(j *jobs.Job, reqID string) {
+	for e := range j.Events(context.Background()) {
+		if e.Type != jobs.EventState {
+			continue
+		}
+		attrs := []any{"req_id", reqID, "job_id", j.ID(), "state", string(e.State)}
+		if e.Error != "" {
+			attrs = append(attrs, "error", e.Error)
+			s.cfg.Logger.Warn("job state", attrs...)
+			continue
+		}
+		s.cfg.Logger.Info("job state", attrs...)
+	}
 }
 
 // batchFn builds the job body: run the configs through the public batch
 // engine against the shared cache, streaming progress into the job's
 // event log and recording a ServiceResult payload (also on
-// cancellation, so partial results stay observable).
+// cancellation, so partial results stay observable). A config asking
+// for a trace gets a capture buffer attached — the wire field is a
+// bool, the engine wants a writer — and the recording is retained with
+// the job as its "trace" artifact. One trace per job: the first
+// requesting config wins (sweeps wanting more should submit runs).
 func (s *Server) batchFn(cfgs []cata.RunConfig) jobs.Fn {
+	var traceBuf *bytes.Buffer
+	for i := range cfgs {
+		if cfgs[i].Trace && cfgs[i].TraceTo == nil {
+			traceBuf = new(bytes.Buffer)
+			cfgs[i].TraceTo = traceBuf
+			break
+		}
+	}
 	return func(ctx context.Context, publish func(jobs.Event)) (json.RawMessage, error) {
 		opts := cata.BatchOptions{
 			Parallelism: s.cfg.SimParallelism,
@@ -265,6 +328,9 @@ func (s *Server) batchFn(cfgs []cata.RunConfig) jobs.Fn {
 			},
 		}
 		rs, err := cata.RunBatch(ctx, cfgs, opts)
+		if traceBuf != nil && traceBuf.Len() > 0 {
+			jobs.StoreArtifact(ctx, "trace", traceBuf.Bytes())
+		}
 		payload := cata.ServiceResult{Results: make([]cata.JobOutcome, len(rs))}
 		for i, r := range rs {
 			o := cata.JobOutcome{Config: r.Config, Cached: r.Cached}
@@ -317,7 +383,8 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
-	s.cfg.Logf("catad: job %s cancel requested", j.ID())
+	s.cfg.Logger.Info("job cancel requested",
+		"req_id", requestID(r.Context()), "job_id", j.ID())
 	writeJSON(w, http.StatusAccepted, wireStatus(j.Status()))
 }
 
@@ -345,6 +412,26 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
 		fl.Flush()
 	}
+}
+
+// handleJobTrace serves the flight recording retained with a traced
+// job as a Chrome trace JSON document. 404s distinguish an unknown job
+// from a known job that recorded no trace (not requested, still
+// running, or failed before the simulation produced one).
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	data, ok := j.Artifact("trace")
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"no trace recorded for job %q (submit with \"trace\": true and wait for it to finish)", j.ID())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
 }
 
 // wireEvent converts a job event to the public wire form.

@@ -1,0 +1,65 @@
+// Command tracecheck validates a Chrome trace JSON document produced
+// by the flight recorder: it must parse, and it must contain at least
+// one complete span ("X"), one counter sample ("C") and one instant
+// ("i") — the three track types a full recording always carries. The
+// catad smoke script runs it against the bytes served by
+// GET /v1/jobs/{id}/trace.
+//
+// Usage: tracecheck [file]   (reads stdin when no file is given)
+//
+// On success it prints the per-phase event counts and exits 0; any
+// parse failure or missing track type exits 1.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+func main() {
+	in := io.Reader(os.Stdin)
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(in).Decode(&doc); err != nil {
+		fatal(fmt.Errorf("%s: parsing trace document: %w", name, err))
+	}
+	counts := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		counts[e.Ph]++
+	}
+	phases := make([]string, 0, len(counts))
+	for ph := range counts {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	fmt.Printf("%s: %d events:", name, len(doc.TraceEvents))
+	for _, ph := range phases {
+		fmt.Printf(" %s=%d", ph, counts[ph])
+	}
+	fmt.Println()
+	for _, ph := range []string{"X", "C", "i"} {
+		if counts[ph] == 0 {
+			fatal(fmt.Errorf("%s: no %q events — not a full flight recording", name, ph))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

@@ -35,7 +35,11 @@ func RenderASCII(w io.Writer, tasks []*tdg.Task, width int) error {
 		}
 	}
 	if len(done) == 0 {
-		return fmt.Errorf("trace: no finished tasks to render")
+		// Nothing executed (empty program, or tasks retained before any
+		// ran): render an explicit notice instead of a degenerate
+		// zero-width chart or an error that aborts result printing.
+		_, err := io.WriteString(w, "timeline: no finished tasks\n")
+		return err
 	}
 	sort.Slice(done, func(i, j int) bool { return done[i].StartedAt < done[j].StartedAt })
 

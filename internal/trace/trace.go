@@ -1,11 +1,19 @@
-// Package trace exports simulated task timelines in the Chrome trace
-// event format (chrome://tracing, Perfetto), the role the paper's
-// profiling-tool visualizations play in choosing criticality annotations
-// (§IV: "we make use of existing profiling tools to visualize the
-// parallel execution of the application and identify its critical path").
+// Package trace exports simulated runs in the Chrome trace event format
+// (chrome://tracing, Perfetto), the role the paper's profiling-tool
+// visualizations play in choosing criticality annotations (§IV: "we make
+// use of existing profiling tools to visualize the parallel execution of
+// the application and identify its critical path").
 //
-// Each executed task becomes one complete ("X") event on its core's row;
-// critical tasks carry a distinguishing category so the UI colors them.
+// Two depths are available. FromTasks/Write render the task timeline
+// alone: one complete ("X") event per executed task on its core's row,
+// critical tasks carrying a distinguishing category so the UI colors
+// them. WriteRecording renders a full flight recording (a probe.Buffer
+// captured during the run): on top of the task spans it adds metadata
+// ("M") naming the fast/slow core classes, counter tracks ("C") for
+// per-core frequency, total chip power against the power budget, and
+// ready-queue depth, instant events ("i") for DVFS requests, cpufreq
+// writes and acceleration grants/denials, and flow arrows ("s"/"f")
+// along the TDG dependence edges.
 package trace
 
 import (
@@ -14,6 +22,7 @@ import (
 	"io"
 	"sort"
 
+	"cata/internal/probe"
 	"cata/internal/sim"
 	"cata/internal/tdg"
 )
@@ -21,14 +30,22 @@ import (
 // Event is one Chrome trace event (subset of the spec this package emits).
 type Event struct {
 	Name string `json:"name"`
-	Cat  string `json:"cat"`
-	// Ph is the event phase; always "X" (complete event).
+	Cat  string `json:"cat,omitempty"`
+	// Ph is the event phase: "X" complete, "C" counter, "i" instant,
+	// "s"/"f" flow start/finish, "M" metadata.
 	Ph string `json:"ph"`
 	// Ts and Dur are in microseconds per the trace format.
 	Ts  float64 `json:"ts"`
-	Dur float64 `json:"dur"`
+	Dur float64 `json:"dur,omitempty"`
 	Pid int     `json:"pid"`
 	Tid int     `json:"tid"`
+	// ID ties the "s" and "f" halves of one flow arrow together.
+	ID string `json:"id,omitempty"`
+	// Scope is the instant-event scope; this package emits "t" (thread).
+	Scope string `json:"s,omitempty"`
+	// BindPoint is set to "e" on flow-finish events so the arrow binds to
+	// the enclosing task slice rather than the next one.
+	BindPoint string `json:"bp,omitempty"`
 
 	Args map[string]interface{} `json:"args,omitempty"`
 }
@@ -84,6 +101,176 @@ func Write(w io.Writer, tasks []*tdg.Task) error {
 	f := File{TraceEvents: FromTasks(tasks), DisplayTimeUnit: "ms"}
 	enc := json.NewEncoder(w)
 	return enc.Encode(f)
+}
+
+// Recording bundles everything one simulated run produced for the deep
+// trace: the run's identity, the machine shape, the retained tasks and
+// the flight-recorder buffer the probe sites filled.
+type Recording struct {
+	// Workload and Policy name the run (shown as the process name).
+	Workload string
+	Policy   string
+	// Cores is the machine width; Fast, when non-nil, gives the static
+	// core classes at time zero (len Cores) for the thread-name metadata.
+	Cores int
+	Fast  []bool
+	// Budget is the accelerated-core budget (0 when the policy has none).
+	Budget int
+	// BudgetWatts, when positive, is drawn into the power counter track
+	// as the budget reference value.
+	BudgetWatts float64
+	// Tasks are the retained tasks (task spans and dependence flows).
+	Tasks []*tdg.Task
+	// Probe is the flight-recorder buffer; nil degrades to task spans.
+	Probe *probe.Buffer
+}
+
+// Events renders the recording as trace events, in deterministic order:
+// metadata, task spans, dependence flows, counter tracks, instants.
+func (r *Recording) Events() []Event {
+	var events []Event
+	events = append(events, r.metadata()...)
+	events = append(events, FromTasks(r.Tasks)...)
+	events = append(events, r.flows()...)
+	if p := r.Probe; p != nil {
+		events = append(events, r.counters(p)...)
+		events = append(events, r.instants(p)...)
+	}
+	return events
+}
+
+// WriteRecording emits the full flight recording as a Chrome trace JSON
+// document, loadable in Perfetto or chrome://tracing.
+func WriteRecording(w io.Writer, r *Recording) error {
+	f := File{TraceEvents: r.Events(), DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// metadata emits the process name and one thread name per core carrying
+// its class, so the Perfetto rows read "core 3 (fast)" instead of bare
+// thread IDs.
+func (r *Recording) metadata() []Event {
+	name := r.Workload
+	if r.Policy != "" {
+		name = fmt.Sprintf("%s · %s", r.Workload, r.Policy)
+	}
+	events := []Event{{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]interface{}{"name": name},
+	}}
+	for core := 0; core < r.Cores; core++ {
+		class := "slow"
+		if core < len(r.Fast) && r.Fast[core] {
+			class = "fast"
+		}
+		events = append(events, Event{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: core,
+			Args: map[string]interface{}{"name": fmt.Sprintf("core %d (%s)", core, class)},
+		})
+	}
+	return events
+}
+
+// flows emits one "s"/"f" arrow per TDG dependence edge between two
+// executed tasks: from the predecessor's end to the successor's start.
+func (r *Recording) flows() []Event {
+	var events []Event
+	n := 0
+	for _, t := range r.Tasks {
+		if t.State() != tdg.Done {
+			continue
+		}
+		for _, s := range t.Succs() {
+			if s.State() != tdg.Done {
+				continue
+			}
+			id := fmt.Sprintf("dep%d", n)
+			n++
+			events = append(events, Event{
+				Name: "dep", Cat: "dep", Ph: "s", ID: id,
+				Ts: t.EndedAt.Micros(), Pid: 1, Tid: t.Core,
+			}, Event{
+				Name: "dep", Cat: "dep", Ph: "f", ID: id, BindPoint: "e",
+				Ts: s.StartedAt.Micros(), Pid: 1, Tid: s.Core,
+			})
+		}
+	}
+	return events
+}
+
+// counters emits the "C" tracks: one frequency track per core (from the
+// physical DVFS transitions), the total-power-vs-budget track and the
+// ready-queue-depth track.
+func (r *Recording) counters(p *probe.Buffer) []Event {
+	var events []Event
+	for _, e := range p.Freqs {
+		if !e.Actual {
+			continue
+		}
+		events = append(events, Event{
+			Name: fmt.Sprintf("freq core %d", e.Core), Ph: "C", Pid: 1,
+			Ts:   e.At.Micros(),
+			Args: map[string]interface{}{"ghz": float64(e.Freq) / 1e9},
+		})
+	}
+	for _, s := range p.Powers {
+		args := map[string]interface{}{"watts": s.Watts}
+		if r.BudgetWatts > 0 {
+			args["budget"] = r.BudgetWatts
+		}
+		events = append(events, Event{
+			Name: "power (W)", Ph: "C", Pid: 1, Ts: s.At.Micros(), Args: args,
+		})
+	}
+	for _, q := range p.Queues {
+		events = append(events, Event{
+			Name: "ready queue", Ph: "C", Pid: 1, Ts: q.At.Micros(),
+			Args: map[string]interface{}{"ready": q.Ready, "critical": q.Critical},
+		})
+	}
+	return events
+}
+
+// instants emits the "i" markers: committed DVFS requests, completed
+// cpufreq policy writes (with their lock-wait share) and RSM/RSU
+// acceleration grants and denials with the budget state.
+func (r *Recording) instants(p *probe.Buffer) []Event {
+	var events []Event
+	for _, e := range p.Freqs {
+		if e.Actual {
+			continue
+		}
+		events = append(events, Event{
+			Name: "dvfs request", Cat: "dvfs", Ph: "i", Scope: "t",
+			Ts: e.At.Micros(), Pid: 1, Tid: e.Core,
+			Args: map[string]interface{}{"level": e.Level},
+		})
+	}
+	for _, e := range p.Writes {
+		events = append(events, Event{
+			Name: "cpufreq write", Cat: "dvfs", Ph: "i", Scope: "t",
+			Ts: e.At.Micros(), Pid: 1, Tid: e.Caller,
+			Args: map[string]interface{}{
+				"target": e.Target, "level": e.Level,
+				"lock_wait_us": e.LockWait.Micros(), "total_us": e.Total.Micros(),
+			},
+		})
+	}
+	for _, e := range p.Accels {
+		name := "accel deny"
+		if e.Granted {
+			name = "accel grant"
+		}
+		events = append(events, Event{
+			Name: name, Cat: "reconfig", Ph: "i", Scope: "t",
+			Ts: e.At.Micros(), Pid: 1, Tid: e.Core,
+			Args: map[string]interface{}{
+				"critical": e.Critical, "used": e.Used, "budget": e.Budget,
+			},
+		})
+	}
+	return events
 }
 
 // Summary returns per-core busy time computed from the trace, a quick

@@ -150,8 +150,20 @@ func TestRenderASCII(t *testing.T) {
 }
 
 func TestRenderASCIIEmpty(t *testing.T) {
-	if err := RenderASCII(&bytes.Buffer{}, nil, 40); err == nil {
-		t.Fatal("empty render should error")
+	// Zero finished tasks must render a notice, not error out or build a
+	// degenerate zero-width chart — both for a nil slice and for a slice
+	// of retained-but-never-run tasks.
+	for _, tasks := range [][]*tdg.Task{
+		nil,
+		{{ID: 1, Type: &tdg.TaskType{Name: "x"}}, {ID: 2, Type: &tdg.TaskType{Name: "y"}}},
+	} {
+		var buf bytes.Buffer
+		if err := RenderASCII(&buf, tasks, 40); err != nil {
+			t.Fatalf("empty render errored: %v", err)
+		}
+		if !strings.Contains(buf.String(), "no finished tasks") {
+			t.Fatalf("empty render output %q, want notice", buf.String())
+		}
 	}
 }
 

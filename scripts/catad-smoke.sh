@@ -2,8 +2,9 @@
 # Smoke test for the catad daemon, run by `make catad-smoke` and the CI
 # test matrix on both Linux and macOS: build the real binary, boot it on
 # an ephemeral port, check /healthz, drive one POST /v1/runs job to
-# completion, verify its SSE stream replays a terminal event, then shut
-# the daemon down with SIGTERM and require a clean drain.
+# completion, verify its SSE stream replays a terminal event, fetch a
+# traced job's flight recording from /v1/jobs/{id}/trace and validate
+# it, then shut the daemon down with SIGTERM and require a clean drain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -72,6 +73,30 @@ for _ in $(seq 1 200); do
 done
 [ "$STATE" = "succeeded" ] || { echo "catad-smoke: cached job stuck in '$STATE'"; exit 1; }
 echo "catad-smoke: cached resubmission succeeded"
+
+# A traced run: the job must retain its flight recording, served as
+# Chrome trace JSON on /v1/jobs/{id}/trace, and the document must carry
+# all three track types (spans "X", counters "C", instants "i") —
+# tracecheck gates that. The untraced job above must have no trace.
+JOB3=$(curl -fsS -X POST "$BASE/v1/runs" -H 'Content-Type: application/json' \
+    -d '{"workload":"swaptions","policy":"CATA","fast_cores":8,"scale":0.05,"trace":true}')
+ID3=$(printf '%s' "$JOB3" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$ID3" ] || { echo "catad-smoke: no job id in: $JOB3"; exit 1; }
+STATE=""
+for _ in $(seq 1 200); do
+    STATE=$(curl -fsS "$BASE/v1/jobs/$ID3" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+    [ "$STATE" = "succeeded" ] && break
+    case "$STATE" in failed|canceled) echo "catad-smoke: traced job $STATE"; exit 1 ;; esac
+    sleep 0.1
+done
+[ "$STATE" = "succeeded" ] || { echo "catad-smoke: traced job stuck in '$STATE'"; exit 1; }
+curl -fsS "$BASE/v1/jobs/$ID3/trace" > "$DIR/trace.json"
+go run ./internal/tools/tracecheck "$DIR/trace.json" \
+    || { echo "catad-smoke: trace validation failed"; exit 1; }
+if curl -fsS -o /dev/null "$BASE/v1/jobs/$ID/trace" 2>/dev/null; then
+    echo "catad-smoke: untraced job served a trace"; exit 1
+fi
+echo "catad-smoke: traced job ok ($(wc -c < "$DIR/trace.json") bytes)"
 
 # /metrics must serve well-formed Prometheus text exposition: every
 # non-comment line is `name{labels} value`, and the counters reflect

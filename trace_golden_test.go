@@ -1,0 +1,118 @@
+package cata_test
+
+// Golden fixture for the flight recorder's Perfetto export: one traced
+// run of the seeded layered workload, canonicalized and compared
+// byte-for-byte against testdata/golden/trace_layered.json. Any drift
+// in the trace document — event order, track names, span timing,
+// counter values, flow binding — fails here before a human ever loads
+// the file in a viewer. Floats are canonicalized to 9 significant
+// digits (timestamps stay exact at that precision; sub-ulp float
+// variance across architectures is absorbed, same rationale as the
+// golden cells' %.6g energies).
+//
+// Regenerate intentionally with:
+//
+//	go test -run TestGoldenTrace -update .
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"cata/internal/exp"
+)
+
+const goldenTracePath = "testdata/golden/trace_layered.json"
+
+func buildGoldenTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := exp.Run(exp.RunSpec{
+		Workload: "layered", Policy: exp.CATA,
+		FastCores: goldenFast, Cores: goldenCores,
+		Seed: goldenSeed, Scale: goldenScale,
+		Trace: &buf,
+	}); err != nil {
+		t.Fatalf("traced golden run: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	out, err := json.MarshalIndent(canonJSON(doc), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// canonJSON rewrites every float in a decoded JSON tree to a 9
+// significant digit literal so the marshaled form is stable across
+// architectures and Go versions (shortest-float formatting is not).
+func canonJSON(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, e := range x {
+			x[k] = canonJSON(e)
+		}
+		return x
+	case []any:
+		for i, e := range x {
+			x[i] = canonJSON(e)
+		}
+		return x
+	case float64:
+		return json.Number(strconv.FormatFloat(x, 'g', 9, 64))
+	default:
+		return v
+	}
+}
+
+func TestGoldenTrace(t *testing.T) {
+	got := buildGoldenTrace(t)
+
+	// Structural floor, independent of the fixture: a full flight
+	// recording always carries spans, counters, instants, balanced
+	// flow arrows, and track-naming metadata.
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("canonical trace does not parse: %v", err)
+	}
+	counts := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		counts[e.Ph]++
+	}
+	for _, ph := range []string{"X", "C", "i", "s", "f", "M"} {
+		if counts[ph] == 0 {
+			t.Errorf("trace has no %q events", ph)
+		}
+	}
+	if counts["s"] != counts["f"] {
+		t.Errorf("unbalanced flow arrows: %d starts, %d finishes", counts["s"], counts["f"])
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenTracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTracePath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatalf("missing fixture (run `go test -run TestGoldenTrace -update .`): %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("trace drifted from %s (%d fixture bytes vs %d current) — inspect with a JSON diff, regenerate intentionally with -update",
+			goldenTracePath, len(want), len(got))
+	}
+}
