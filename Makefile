@@ -24,7 +24,7 @@ COVER_FLOOR ?= 75.0
 # Fuzz-smoke budget for the internal/sim engine harness.
 FUZZTIME ?= 30s
 
-.PHONY: all build test bench bench-capture bench-check vet fmt fmt-check smoke catad-smoke fuzz-smoke cover cover-check lint docs-check ci
+.PHONY: all build test bench bench-capture bench-check vet fmt fmt-check smoke catad-smoke opensys-smoke fuzz-smoke cover cover-check lint docs-check ci
 
 all: build
 
@@ -74,9 +74,19 @@ smoke:
 	$(GO) test -run TestSweep -count=1 ./cmd/catasweep
 
 # Boots the real catad binary, exercises /healthz and a POST /v1/runs
-# job to completion, and verifies a clean SIGTERM drain.
+# job to completion (closed, traced and open-system traffic), and
+# verifies a clean SIGTERM drain.
 catad-smoke:
 	bash scripts/catad-smoke.sh
+
+# Exercises the open-system traffic path end to end: the seeded
+# determinism, overload shedding and report-shape tests, plus one real
+# catasim -arrivals run.
+opensys-smoke:
+	$(GO) test -run 'TestOpen|TestScheduleGolden' -count=1 ./internal/opensys ./internal/exp
+	$(GO) run ./cmd/catasim -workload 'forkjoin:width=4,phases=2,dur=50' \
+		-policy CATA -fast 8 -cores 8 \
+		-arrivals 'poisson:lambda=2000,jobs=20,deadline=5ms,cap=4,window=10ms'
 
 # Runs the internal/sim engine fuzz harness (arena/heap invariants vs a
 # reference engine) for a bounded budget.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cata/internal/exp"
+	"cata/internal/opensys"
 	"cata/internal/sim"
 	"cata/internal/workloads"
 )
@@ -213,6 +214,16 @@ type RunConfig struct {
 	// TransitionLatency overrides the DVFS transition latency (zero keeps
 	// the Table I value of 25 µs). Used by the latency ablation.
 	TransitionLatency time.Duration `json:"transition_latency_ns,omitempty"`
+	// Arrivals, when non-empty, switches the run to open-system traffic
+	// mode: the workload becomes a per-job DAG template and jobs arrive
+	// over simulated time under the given arrival process —
+	// "poisson:lambda=2000,jobs=40,deadline=5ms" or
+	// "fixed:interval=500us,jobs=40". Parameters: lambda (jobs/second,
+	// Poisson) or interval (fixed gap), jobs (arrival count), deadline
+	// (per-job response-time SLO), cap (max in-system jobs; arrivals
+	// beyond it are shed) and window (per-window percentile reporting).
+	// The Result then carries Open. See ValidateArrivals.
+	Arrivals string `json:"arrivals,omitempty"`
 	// Trace asks the service to record the run's full flight recording —
 	// task spans, per-core frequency and power-vs-budget counter tracks,
 	// reconfiguration instants, dependence flow arrows — and retain it
@@ -265,7 +276,65 @@ type Result struct {
 	StaticBindingEvents int64 `json:"static_binding_events,omitempty"`
 	// AvgUtilization is mean core busy-time over the makespan, in [0,1].
 	AvgUtilization float64 `json:"avg_utilization,omitempty"`
+	// Open carries the open-system traffic report; nil for closed runs
+	// (no RunConfig.Arrivals).
+	Open *OpenResult `json:"open,omitempty"`
 }
+
+// OpenResult is the open-system traffic summary of a run with
+// RunConfig.Arrivals set: response-time percentiles over all completed
+// jobs, deadline and shed accounting, and the tail energy-delay
+// product. Durations are reported in nanoseconds on the wire.
+type OpenResult struct {
+	// Process echoes the arrival spec in canonical form.
+	Process string `json:"process"`
+	// JobsArrived counts arrivals (admitted + shed).
+	JobsArrived int64 `json:"jobs_arrived"`
+	// JobsCompleted counts jobs that ran to completion.
+	JobsCompleted int64 `json:"jobs_completed"`
+	// JobsShed counts arrivals dropped by the in-system cap.
+	JobsShed int64 `json:"jobs_shed,omitempty"`
+	// DeadlineMissed counts jobs completing past their deadline.
+	DeadlineMissed int64 `json:"deadline_missed,omitempty"`
+	// MissRate is DeadlineMissed / JobsCompleted, in [0,1].
+	MissRate float64 `json:"miss_rate,omitempty"`
+	// PeakInSystem is the largest number of concurrently in-system jobs.
+	PeakInSystem int `json:"peak_in_system"`
+	// MeanResponse is the mean job response time.
+	MeanResponse time.Duration `json:"mean_response_ns"`
+	// P50 is the median job response time.
+	P50 time.Duration `json:"p50_response_ns"`
+	// P99 is the 99th-percentile job response time.
+	P99 time.Duration `json:"p99_response_ns"`
+	// P999 is the 99.9th-percentile job response time.
+	P999 time.Duration `json:"p999_response_ns"`
+	// MaxResponse is the worst job response time.
+	MaxResponse time.Duration `json:"max_response_ns"`
+	// TailEDP is total joules times the p99 response time in seconds.
+	TailEDP float64 `json:"tail_edp,omitempty"`
+	// Windows are per-completion-window distributions (with window=).
+	Windows []OpenWindow `json:"windows,omitempty"`
+}
+
+// OpenWindow is one completion window's response-time distribution.
+type OpenWindow struct {
+	// Start is the window's inclusive lower bound in simulated time.
+	Start time.Duration `json:"start_ns"`
+	// End is the window's exclusive upper bound.
+	End time.Duration `json:"end_ns"`
+	// Completed counts jobs completing inside the window.
+	Completed int64 `json:"completed"`
+	// P50 is the window's median response time.
+	P50 time.Duration `json:"p50_response_ns"`
+	// P99 is the window's 99th-percentile response time.
+	P99 time.Duration `json:"p99_response_ns"`
+	// P999 is the window's 99.9th-percentile response time.
+	P999 time.Duration `json:"p999_response_ns"`
+}
+
+// ValidateArrivals checks a RunConfig.Arrivals spec string without
+// running anything, so services can reject malformed specs at admission.
+func ValidateArrivals(spec string) error { return exp.ValidateArrivals(spec) }
 
 func toDuration(t sim.Time) time.Duration {
 	return time.Duration(int64(t) / int64(sim.Nanosecond))
@@ -291,7 +360,42 @@ func toResult(m exp.Measurement) Result {
 		Inversions:          m.Inversions,
 		StaticBindingEvents: m.StaticBinding,
 		AvgUtilization:      m.AvgUtilization,
+		Open:                toOpenResult(m.Open),
 	}
+}
+
+// toOpenResult lowers the harness's open-system report to the public
+// type, converting simulated times to durations; nil in, nil out.
+func toOpenResult(rep *opensys.Report) *OpenResult {
+	if rep == nil {
+		return nil
+	}
+	out := &OpenResult{
+		Process:        rep.Process,
+		JobsArrived:    rep.JobsArrived,
+		JobsCompleted:  rep.JobsCompleted,
+		JobsShed:       rep.JobsShed,
+		DeadlineMissed: rep.DeadlineMissed,
+		MissRate:       rep.MissRate,
+		PeakInSystem:   rep.PeakInSystem,
+		MeanResponse:   toDuration(rep.MeanResponse),
+		P50:            toDuration(rep.P50),
+		P99:            toDuration(rep.P99),
+		P999:           toDuration(rep.P999),
+		MaxResponse:    toDuration(rep.MaxResponse),
+		TailEDP:        rep.TailEDP,
+	}
+	for _, w := range rep.Windows {
+		out.Windows = append(out.Windows, OpenWindow{
+			Start:     toDuration(w.Start),
+			End:       toDuration(w.End),
+			Completed: w.Completed,
+			P50:       toDuration(w.P50),
+			P99:       toDuration(w.P99),
+			P999:      toDuration(w.P999),
+		})
+	}
+	return out
 }
 
 // spec lowers the public config to the experiment harness's RunSpec.
@@ -307,6 +411,7 @@ func (cfg RunConfig) spec() (exp.RunSpec, error) {
 		Trace:             cfg.TraceTo,
 		Timeline:          cfg.TimelineTo,
 		TimelineWidth:     cfg.TimelineWidth,
+		Arrivals:          cfg.Arrivals,
 	}
 	if cfg.Program != nil {
 		if err := cfg.Program.Err(); err != nil {

@@ -326,7 +326,7 @@ func (c *ServiceClient) SubmitSweep(ctx context.Context, cfg MatrixConfig) (JobS
 // Job fetches one job's status (GET /v1/jobs/{id}).
 func (c *ServiceClient) Job(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st)
 	return st, err
 }
 
@@ -342,7 +342,7 @@ func (c *ServiceClient) Jobs(ctx context.Context) ([]JobStatus, error) {
 // for running jobs: follow Events or poll Job until terminal.
 func (c *ServiceClient) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &st)
 	return st, err
 }
 
@@ -351,7 +351,7 @@ func (c *ServiceClient) Cancel(ctx context.Context, id string) (JobStatus, error
 // events follow. Events returns nil when the stream ends with the job
 // terminal, fn's error if it stops consumption, or the context error.
 func (c *ServiceClient) Events(ctx context.Context, id string, fn func(JobEvent) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@
 //	catasim -workload 'layered:seed=7,width=16,depth=32' -policy CATA+RSU -fast 24
 //	catasim -workload swaptions -export swaptions.json
 //	catasim -workload trace:file=swaptions.json -policy CATA -fast 16
+//	catasim -workload 'forkjoin:width=8,phases=4' -arrivals 'poisson:lambda=2000,jobs=40,deadline=5ms'
 //	catasim -list
 package main
 
@@ -42,6 +43,7 @@ func main() {
 		export   = flag.String("export", "", "write the workload as a replayable JSON trace to this file and exit")
 		timeline = flag.Bool("timeline", false, "print a per-core ASCII Gantt chart of the run")
 		tlWidth  = flag.Int("timeline-width", 100, "ASCII Gantt chart width in columns (with -timeline)")
+		arrivals = flag.String("arrivals", "", "open-system traffic: arrival process spec, e.g. 'poisson:lambda=2000,jobs=40,deadline=5ms,cap=8'")
 	)
 	flag.Parse()
 
@@ -90,6 +92,7 @@ func main() {
 	cfg := cata.RunConfig{
 		Workload: *workload, Policy: pol,
 		FastCores: *fast, Cores: *cores, Seed: *seed, Scale: *scale,
+		Arrivals: *arrivals,
 	}
 	if *timeline {
 		cfg.TimelineTo = os.Stdout
@@ -159,6 +162,27 @@ func main() {
 	}
 	if res.Inversions > 0 {
 		fmt.Printf("  priority inversions   %d\n", res.Inversions)
+	}
+	if o := res.Open; o != nil {
+		fmt.Printf("open-system traffic (%s)\n", o.Process)
+		fmt.Printf("  jobs                  %d arrived, %d completed", o.JobsArrived, o.JobsCompleted)
+		if o.JobsShed > 0 {
+			fmt.Printf(", %d shed", o.JobsShed)
+		}
+		fmt.Println()
+		fmt.Printf("  response time         mean %v, max %v\n", o.MeanResponse, o.MaxResponse)
+		fmt.Printf("  percentiles           p50 %v, p99 %v, p99.9 %v\n", o.P50, o.P99, o.P999)
+		if o.DeadlineMissed > 0 || o.MissRate > 0 {
+			fmt.Printf("  deadline misses       %d (%.2f%%)\n", o.DeadlineMissed, o.MissRate*100)
+		}
+		fmt.Printf("  peak in system        %d\n", o.PeakInSystem)
+		if o.TailEDP > 0 {
+			fmt.Printf("  tail EDP (J·s @p99)   %.6f\n", o.TailEDP)
+		}
+		for _, w := range o.Windows {
+			fmt.Printf("  window [%v, %v)  %4d jobs  p50 %v  p99 %v  p99.9 %v\n",
+				w.Start, w.End, w.Completed, w.P50, w.P99, w.P999)
+		}
 	}
 
 	if *baseline && pol != cata.PolicyFIFO {

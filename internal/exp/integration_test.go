@@ -20,7 +20,7 @@ func sampleDuringRun(t *testing.T, spec RunSpec, every sim.Time, sample func(*ri
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := buildRig(spec, programHolder{w.Build(spec.Seed, spec.Scale)})
+	r, err := buildRig(spec, programHolder{prog: w.Build(spec.Seed, spec.Scale)})
 	if err != nil {
 		t.Fatal(err)
 	}

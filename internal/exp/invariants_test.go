@@ -47,7 +47,7 @@ func retainedRun(t *testing.T, spec RunSpec) (*rig, []*tdg.Task, sim.Time) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := buildRig(spec, programHolder{prog})
+	r, err := buildRig(spec, programHolder{prog: prog})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"cata/internal/metrics"
+	"cata/internal/sim"
 )
 
 // The simulation layer's telemetry, aggregated across every Run in the
@@ -34,7 +35,32 @@ var (
 		"Task starts that ran non-accelerated because the power budget was exhausted.")
 	mBudgetUtil = metrics.NewGauge("cata_power_budget_utilization",
 		"Last completed run's time-averaged accelerated cores / budget, in [0,1].")
+
+	// Open-system traffic telemetry: per-job observations arrive live
+	// from the simulation's admission and completion callbacks, the
+	// per-run aggregates from observeRun.
+	mOpenJobs = metrics.NewCounter("cata_opensys_jobs_total",
+		"Open-system job arrivals across all traffic runs (admitted + shed).")
+	mOpenShed = metrics.NewCounter("cata_opensys_shed_total",
+		"Open-system arrivals dropped by the in-system cap.")
+	mOpenMissed = metrics.NewCounter("cata_opensys_deadline_missed_total",
+		"Open-system jobs that completed past their deadline.")
+	mOpenPeak = metrics.NewGauge("cata_opensys_peak_in_system",
+		"Last open-system run's peak concurrently in-system jobs.")
+	mOpenP99 = metrics.NewGauge("cata_opensys_p99_response_seconds",
+		"Last open-system run's 99th-percentile job response time.")
+	mOpenResponse = metrics.NewHistogram("cata_opensys_response_seconds",
+		"Per-job response times (simulated) across all open-system runs.",
+		metrics.ExpBuckets(1e-6, 10, 8))
 )
+
+// observeOpenShed streams one shed arrival into the process metrics.
+func observeOpenShed() { mOpenShed.Inc() }
+
+// observeOpenResponse streams one job completion's response time.
+func observeOpenResponse(resp sim.Time) {
+	mOpenResponse.Observe(resp.Seconds())
+}
 
 // observeRun folds one completed simulation into the process metrics.
 func observeRun(m Measurement, eventsFired uint64, elapsed time.Duration) {
@@ -46,5 +72,11 @@ func observeRun(m Measurement, eventsFired uint64, elapsed time.Duration) {
 	mAccelDenied.Add(float64(m.AccelsDenied))
 	if m.BudgetUtilization > 0 {
 		mBudgetUtil.Set(m.BudgetUtilization)
+	}
+	if m.Open != nil {
+		mOpenJobs.Add(float64(m.Open.JobsArrived))
+		mOpenMissed.Add(float64(m.Open.DeadlineMissed))
+		mOpenPeak.Set(float64(m.Open.PeakInSystem))
+		mOpenP99.Set(m.Open.P99.Seconds())
 	}
 }

@@ -194,12 +194,18 @@ func buildRig(spec RunSpec, prog programHolder) (*rig, error) {
 
 	opts := rts.DefaultOptions()
 	opts.MaxSimTime = spec.MaxSimTime
+	if opts.MaxSimTime > 0 {
+		// Open-system runs push the abort horizon past the last arrival;
+		// zero for closed runs, whose MaxSimTime is unchanged.
+		opts.MaxSimTime += prog.extraSimTime
+	}
 	opts.RetainTasks = spec.Trace != nil || spec.Timeline != nil
 	cfg := rts.Config{
 		Machine:   mach,
 		Program:   prog.prog,
 		Estimator: sched.StaticAnnotations{},
 		Options:   opts,
+		Open:      prog.open,
 	}
 	r := &rig{eng: eng, mach: mach}
 	if spec.Trace != nil {

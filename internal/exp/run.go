@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"cata/internal/energy"
+	"cata/internal/opensys"
 	"cata/internal/program"
+	"cata/internal/rts"
 	"cata/internal/sched"
 	"cata/internal/sim"
 	"cata/internal/trace"
@@ -42,6 +44,13 @@ type RunSpec struct {
 	// TransitionLatency overrides the DVFS transition latency (0 keeps
 	// the Table I 25 µs). Used by the latency-sensitivity ablation.
 	TransitionLatency sim.Time
+	// Arrivals, when non-empty, switches the run to open-system traffic
+	// mode: the workload becomes a per-job DAG template instantiated by
+	// the arrival process the spec describes (see internal/opensys for
+	// the grammar, e.g. "poisson:lambda=2000,jobs=40,deadline=5ms").
+	// The harvested Measurement carries the response-time Report in
+	// Open; Makespan is the time the last job drained.
+	Arrivals string
 	// Trace, when non-nil, receives the run's full flight recording as a
 	// Chrome/Perfetto trace JSON document: task spans, per-core frequency
 	// and power-vs-budget counter tracks, reconfiguration instants and
@@ -71,8 +80,12 @@ func (s RunSpec) withDefaults() RunSpec {
 	return s
 }
 
-// String renders the spec as workload/policy/fast for logs and errors.
+// String renders the spec as workload/policy/fast for logs and errors,
+// with the arrival process appended for open-system runs.
 func (s RunSpec) String() string {
+	if s.Arrivals != "" {
+		return fmt.Sprintf("%s/%v/fast=%d/%s", s.Workload, s.Policy, s.FastCores, s.Arrivals)
+	}
 	return fmt.Sprintf("%s/%v/fast=%d", s.Workload, s.Policy, s.FastCores)
 }
 
@@ -89,6 +102,9 @@ type runSpecJSON struct {
 	Scale             float64  `json:"scale"`
 	MaxSimTime        sim.Time `json:"max_sim_time"`
 	TransitionLatency sim.Time `json:"transition_latency,omitempty"`
+	// Arrivals is omitempty so closed-system specs keep the cache keys
+	// they had before open-system mode existed.
+	Arrivals string `json:"arrivals,omitempty"`
 }
 
 // MarshalJSON encodes the portable fields of the spec.
@@ -102,6 +118,7 @@ func (s RunSpec) MarshalJSON() ([]byte, error) {
 		Scale:             s.Scale,
 		MaxSimTime:        s.MaxSimTime,
 		TransitionLatency: s.TransitionLatency,
+		Arrivals:          s.Arrivals,
 	})
 }
 
@@ -120,6 +137,7 @@ func (s *RunSpec) UnmarshalJSON(b []byte) error {
 		Scale:             j.Scale,
 		MaxSimTime:        j.MaxSimTime,
 		TransitionLatency: j.TransitionLatency,
+		Arrivals:          j.Arrivals,
 	}
 	return nil
 }
@@ -155,13 +173,34 @@ type Measurement struct {
 
 	// AvgUtilization is mean busy-time/makespan across cores in [0,1].
 	AvgUtilization float64
+
+	// Open carries the open-system traffic report (response-time
+	// percentiles, deadline misses, shed counts); nil for closed runs.
+	Open *opensys.Report
 }
 
-type programHolder struct{ prog *program.Program }
+// programHolder carries the run's program — or, for open-system runs,
+// the arrival-mode configuration that replaces it — into buildRig.
+type programHolder struct {
+	prog *program.Program
+	// Open-system fields, all zero for closed runs.
+	open *rts.OpenConfig
+	// inject schedules the arrival events on the built runtime.
+	inject func(*rts.Runtime) error
+	// collect produces the open-system report after the run.
+	collect *opensys.Collector
+	// extraSimTime extends MaxSimTime by the arrival horizon so the
+	// abort guard bounds drain time after the last arrival, not the
+	// whole stream.
+	extraSimTime sim.Time
+}
 
 // Run executes one simulation and harvests its measurement.
 func Run(spec RunSpec) (Measurement, error) {
 	spec = spec.withDefaults()
+	if spec.Arrivals != "" {
+		return runOpen(spec)
+	}
 	prog := spec.Program
 	if prog == nil {
 		p, err := workloads.Build(spec.Workload, spec.Seed, spec.Scale)
@@ -170,9 +209,20 @@ func Run(spec RunSpec) (Measurement, error) {
 		}
 		prog = p
 	}
-	rig, err := buildRig(spec, programHolder{prog})
+	return runWith(spec, programHolder{prog: prog})
+}
+
+// runWith builds the rig for one (possibly open-system) run, executes
+// it, and harvests the measurement.
+func runWith(spec RunSpec, holder programHolder) (Measurement, error) {
+	rig, err := buildRig(spec, holder)
 	if err != nil {
 		return Measurement{}, err
+	}
+	if holder.inject != nil {
+		if err := holder.inject(rig.runtime); err != nil {
+			return Measurement{}, fmt.Errorf("%v: %w", spec, err)
+		}
 	}
 	wallStart := time.Now()
 	res, err := rig.runtime.Run()
@@ -183,8 +233,8 @@ func Run(spec RunSpec) (Measurement, error) {
 	joules := rig.mach.FinishEnergy()
 	if spec.Trace != nil {
 		workload := spec.Workload
-		if workload == "" {
-			workload = prog.Name
+		if workload == "" && holder.prog != nil {
+			workload = holder.prog.Name
 		}
 		rec := &trace.Recording{
 			Workload:    workload,
@@ -260,6 +310,10 @@ func Run(spec RunSpec) (Measurement, error) {
 			busy += rig.mach.Core(i).BusyTime()
 		}
 		m.AvgUtilization = float64(busy) / (float64(res.Makespan) * float64(rig.mach.Cores()))
+	}
+	if holder.collect != nil {
+		rep := holder.collect.Report(joules)
+		m.Open = &rep
 	}
 	observeRun(m, rig.eng.Fired(), wallElapsed)
 	return m, nil

@@ -160,6 +160,13 @@ type Job struct {
 // ID returns the job's manager-assigned identifier.
 func (j *Job) ID() string { return j.id }
 
+// isTerminal reports whether the job has reached a terminal state.
+func (j *Job) isTerminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}
+
 // Status snapshots the job.
 func (j *Job) Status() Status {
 	j.mu.Lock()
@@ -288,7 +295,7 @@ func (j *Job) Cancel() {
 	j.cancel()
 	if wasQueued {
 		j.mgr.dequeue(j)
-		j.mgr.prune()
+		j.mgr.noteTerminal()
 	}
 }
 
@@ -310,8 +317,8 @@ func (j *Job) run() {
 	mRunning.Add(-1)
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state.Terminal() {
+		j.mu.Unlock()
 		return
 	}
 	j.finished = time.Now()
@@ -332,6 +339,10 @@ func (j *Job) run() {
 	j.appendLocked(Event{Type: EventState, State: j.state, Error: j.err})
 	mCompleted.With(string(j.state)).Inc()
 	mDuration.Observe(j.finished.Sub(j.started).Seconds())
+	j.mu.Unlock()
+	// Outside j.mu: noteTerminal acquires the manager lock and may probe
+	// job states (Manager.mu → Job.mu ordering).
+	j.mgr.noteTerminal()
 }
 
 // Manager runs submitted jobs on a fixed worker pool behind a FIFO
@@ -347,6 +358,7 @@ type Manager struct {
 	queue    []*Job // FIFO of admitted, not-yet-started jobs
 	depth    int
 	retain   int
+	terminal int // jobs in a terminal state, maintained by noteTerminal
 	nextID   int
 	draining bool
 	workers  sync.WaitGroup
@@ -383,27 +395,36 @@ func New(workers, depth, retain int) *Manager {
 	return m
 }
 
-// prune evicts the oldest terminal jobs beyond the retention limit.
-// Called after a job reaches a terminal state.
-func (m *Manager) prune() {
+// noteTerminal records one job's transition into a terminal state and
+// evicts beyond the retention limit. Callers must not hold any job's
+// mutex: eviction inspects job states under m.mu, and the lock order is
+// Manager.mu → Job.mu.
+func (m *Manager) noteTerminal() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	terminal := 0
-	for _, j := range m.order {
-		if j.Status().State.Terminal() {
-			terminal++
-		}
+	m.terminal++
+	if m.terminal <= m.retain {
+		return
 	}
-	for i := 0; terminal > m.retain && i < len(m.order); {
-		j := m.order[i]
-		if !j.Status().State.Terminal() {
-			i++
+	// Single pass: evict the oldest terminal jobs until back at the
+	// retention limit, compacting m.order in place. The incremental
+	// m.terminal count means no full recount of every job per terminal
+	// transition (the old code was O(jobs²) lock acquisitions under
+	// churn); the per-job state probe below runs only on the rare
+	// eviction pass.
+	kept := m.order[:0]
+	for _, j := range m.order {
+		if m.terminal > m.retain && j.isTerminal() {
+			delete(m.jobs, j.id)
+			m.terminal--
 			continue
 		}
-		m.order = append(m.order[:i], m.order[i+1:]...)
-		delete(m.jobs, j.id)
-		terminal--
+		kept = append(kept, j)
 	}
+	for i := len(kept); i < len(m.order); i++ {
+		m.order[i] = nil // release evicted jobs to the collector
+	}
+	m.order = kept
 }
 
 // worker pops queued jobs in FIFO order until drain empties the queue.
@@ -423,7 +444,6 @@ func (m *Manager) worker() {
 		mQueueDepth.Set(float64(len(m.queue)))
 		m.mu.Unlock()
 		j.run()
-		m.prune()
 	}
 }
 

@@ -449,3 +449,57 @@ func TestTerminalJobEviction(t *testing.T) {
 	close(release)
 	waitState(t, runner, Succeeded)
 }
+
+// TestRetainOneConcurrentCompletions: at retain=1 with many workers
+// racing terminal transitions (completions and queued-cancellations),
+// the incremental terminal count stays consistent — exactly one
+// terminal job survives and it is queryable.
+func TestRetainOneConcurrentCompletions(t *testing.T) {
+	m := New(8, 256, 1)
+	const n = 200
+	var jobs []*Job
+	for i := range n {
+		j, err := m.Submit("test", fmt.Sprintf("c%d", i), func(ctx context.Context, publish func(Event)) (json.RawMessage, error) {
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+		// Cancel a slice of them while (possibly still) queued so the
+		// Cancel terminal path races the worker completion path.
+		if i%7 == 0 {
+			go j.Cancel()
+		}
+	}
+	for _, j := range jobs {
+		deadline := time.Now().Add(10 * time.Second)
+		for !j.isTerminal() {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never reached a terminal state", j.ID())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Every job is terminal, so retention must have pruned down to one.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m.mu.Lock()
+		kept, terminal := len(m.order), m.terminal
+		m.mu.Unlock()
+		if kept == 1 && terminal == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retained %d jobs (terminal count %d), want 1/1", kept, terminal)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	survivors := m.Jobs()
+	if len(survivors) != 1 {
+		t.Fatalf("Jobs() = %d entries, want 1", len(survivors))
+	}
+	if _, ok := m.Get(survivors[0].ID()); !ok {
+		t.Fatal("surviving job not queryable by ID")
+	}
+}

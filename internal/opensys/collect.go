@@ -1,0 +1,164 @@
+package opensys
+
+import (
+	"cata/internal/sim"
+	"cata/internal/stats"
+)
+
+// Collector accumulates the open-system run's service observations. It
+// receives the runtime's admission/shed/completion callbacks (wire it
+// through rts.OpenConfig) and produces a Report. Not safe for
+// concurrent use; the simulation is single-threaded.
+type Collector struct {
+	proc Process
+
+	arrived   int64
+	completed int64
+	shed      int64
+	missed    int64
+	inSystem  int
+	peak      int
+
+	resp    stats.Hist
+	maxResp sim.Time
+
+	// winHists[i] holds the responses of jobs completing in window i
+	// ([i*Window, (i+1)*Window)); allocated lazily, nil when Window == 0.
+	winHists []*stats.Hist
+}
+
+// NewCollector returns a collector for one run of the process.
+func NewCollector(proc Process) *Collector {
+	return &Collector{proc: proc}
+}
+
+// Admit records a job entering the system.
+func (c *Collector) Admit(jobID int, at sim.Time) {
+	c.arrived++
+	c.inSystem++
+	if c.inSystem > c.peak {
+		c.peak = c.inSystem
+	}
+}
+
+// Shed records an arrival dropped by the in-system cap.
+func (c *Collector) Shed(jobID int, at sim.Time) {
+	c.arrived++
+	c.shed++
+}
+
+// Done records a job completion and its response time.
+func (c *Collector) Done(jobID int, arrived, done sim.Time) {
+	c.completed++
+	c.inSystem--
+	r := done - arrived
+	c.resp.Observe(r)
+	if r > c.maxResp {
+		c.maxResp = r
+	}
+	if c.proc.Deadline > 0 && r > c.proc.Deadline {
+		c.missed++
+	}
+	if c.proc.Window > 0 {
+		w := int(done / c.proc.Window)
+		for len(c.winHists) <= w {
+			c.winHists = append(c.winHists, nil)
+		}
+		if c.winHists[w] == nil {
+			c.winHists[w] = &stats.Hist{}
+		}
+		c.winHists[w].Observe(r)
+	}
+}
+
+// WindowReport is the response-time distribution of one completion
+// window. Durations are picoseconds of simulated time, like every
+// sim.Time in the harness.
+type WindowReport struct {
+	// Start and End bound the window [Start, End).
+	Start sim.Time `json:"start"`
+	// End is the window's exclusive upper bound.
+	End sim.Time `json:"end"`
+	// Completed counts jobs that completed inside the window.
+	Completed int64 `json:"completed"`
+	// P50, P99 and P999 are the window's response-time percentiles.
+	P50 sim.Time `json:"p50"`
+	// P99 is the window's 99th-percentile response time.
+	P99 sim.Time `json:"p99"`
+	// P999 is the window's 99.9th-percentile response time.
+	P999 sim.Time `json:"p999"`
+}
+
+// Report is the open-system run summary: throughput, shed and SLO
+// accounting, and the response-time distribution. Durations are
+// picoseconds of simulated time.
+type Report struct {
+	// Process echoes the arrival spec in canonical form.
+	Process string `json:"process"`
+	// JobsArrived counts arrivals (admitted + shed).
+	JobsArrived int64 `json:"jobs_arrived"`
+	// JobsCompleted counts jobs that ran to completion.
+	JobsCompleted int64 `json:"jobs_completed"`
+	// JobsShed counts arrivals dropped by the in-system cap.
+	JobsShed int64 `json:"jobs_shed,omitempty"`
+	// DeadlineMissed counts completed jobs whose response time exceeded
+	// the deadline (only when the process carries one).
+	DeadlineMissed int64 `json:"deadline_missed,omitempty"`
+	// MissRate is DeadlineMissed / JobsCompleted, in [0,1].
+	MissRate float64 `json:"miss_rate,omitempty"`
+	// PeakInSystem is the largest number of concurrently in-system jobs.
+	PeakInSystem int `json:"peak_in_system"`
+	// MeanResponse is the exact mean job response time.
+	MeanResponse sim.Time `json:"mean_response"`
+	// P50, P99, P999 are response-time percentiles (bucket-midpoint
+	// approximations from the log2 histogram).
+	P50 sim.Time `json:"p50"`
+	// P99 is the 99th-percentile response time.
+	P99 sim.Time `json:"p99"`
+	// P999 is the 99.9th-percentile response time.
+	P999 sim.Time `json:"p999"`
+	// MaxResponse is the exact worst response time.
+	MaxResponse sim.Time `json:"max_response"`
+	// TailEDP is the tail energy-delay product: total joules times the
+	// p99 response time in seconds — the paper's EDP metric re-based on
+	// tail latency instead of makespan.
+	TailEDP float64 `json:"tail_edp,omitempty"`
+	// Windows are the per-window distributions (empty without window=).
+	Windows []WindowReport `json:"windows,omitempty"`
+}
+
+// Report summarizes the run. joules is the machine's total energy (for
+// TailEDP); pass 0 when energy is not being accounted.
+func (c *Collector) Report(joules float64) Report {
+	r := Report{
+		Process:        c.proc.String(),
+		JobsArrived:    c.arrived,
+		JobsCompleted:  c.completed,
+		JobsShed:       c.shed,
+		DeadlineMissed: c.missed,
+		PeakInSystem:   c.peak,
+		MeanResponse:   c.resp.Mean(),
+		P50:            c.resp.Quantile(0.50),
+		P99:            c.resp.Quantile(0.99),
+		P999:           c.resp.Quantile(0.999),
+		MaxResponse:    c.maxResp,
+	}
+	if c.completed > 0 {
+		r.MissRate = float64(c.missed) / float64(c.completed)
+	}
+	r.TailEDP = joules * r.P99.Seconds()
+	for i, h := range c.winHists {
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		r.Windows = append(r.Windows, WindowReport{
+			Start:     sim.Time(i) * c.proc.Window,
+			End:       sim.Time(i+1) * c.proc.Window,
+			Completed: h.Count(),
+			P50:       h.Quantile(0.50),
+			P99:       h.Quantile(0.99),
+			P999:      h.Quantile(0.999),
+		})
+	}
+	return r
+}

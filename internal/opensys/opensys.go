@@ -1,0 +1,209 @@
+// Package opensys is the open-system traffic layer: seeded arrival
+// processes that instantiate workload DAGs as jobs arriving over
+// simulated time, and the response-time collector that turns job
+// completions into latency distributions (p50/p99/p999), deadline-miss
+// accounting and shed counts. The closed-system harness asks "how fast
+// does one program run"; this package asks the service question the
+// ROADMAP's north star needs — what tail latency does a stream of jobs
+// see on a shared machine under each policy.
+//
+// An arrival process is written as a spec string, mirroring the
+// workload registry's grammar:
+//
+//	poisson:lambda=2000                 Poisson arrivals, λ jobs/second
+//	fixed:interval=500us                fixed interarrival gap
+//
+// with the common parameters jobs=N (arrival count, default 16),
+// deadline=D (per-job response-time SLO, e.g. 5ms; 0 disables),
+// cap=N (max jobs in system; arrivals beyond it are shed; 0 means
+// unlimited) and window=D (report per-window percentiles at this
+// granularity; 0 disables). Durations use Go duration syntax.
+// All randomness flows from internal/xrand streams, so a (spec, seed)
+// pair always yields the identical arrival schedule.
+package opensys
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cata/internal/sim"
+	"cata/internal/xrand"
+)
+
+// Arrival process kinds.
+const (
+	// KindPoisson draws exponentially distributed interarrival gaps.
+	KindPoisson = "poisson"
+	// KindFixed spaces arrivals by a constant interval.
+	KindFixed = "fixed"
+)
+
+// Process is a parsed arrival-process spec.
+type Process struct {
+	// Kind is KindPoisson or KindFixed.
+	Kind string
+	// Lambda is the Poisson arrival rate in jobs per second (> 0 for
+	// KindPoisson, unused otherwise).
+	Lambda float64
+	// Interval is the fixed interarrival gap (> 0 for KindFixed).
+	Interval sim.Time
+	// Jobs is the number of arrivals to generate.
+	Jobs int
+	// Deadline is the per-job response-time SLO; 0 disables deadline
+	// accounting. Missing the deadline never aborts a job — it is an
+	// observation, not an enforcement.
+	Deadline sim.Time
+	// Cap bounds concurrently in-system jobs; arrivals finding the
+	// system full are shed. 0 means unlimited.
+	Cap int
+	// Window, when > 0, buckets completions into fixed windows of this
+	// width and reports per-window percentiles.
+	Window sim.Time
+}
+
+// Parse parses an arrival-process spec string.
+func Parse(spec string) (Process, error) {
+	kind, rest, hasParams := strings.Cut(spec, ":")
+	kind = strings.TrimSpace(kind)
+	p := Process{Kind: kind, Jobs: 16}
+	if kind != KindPoisson && kind != KindFixed {
+		return Process{}, fmt.Errorf("opensys: unknown arrival process %q in %q (want %s or %s)",
+			kind, spec, KindPoisson, KindFixed)
+	}
+	if hasParams && strings.TrimSpace(rest) == "" {
+		return Process{}, fmt.Errorf("opensys: spec %q has a ':' but no parameters", spec)
+	}
+	seen := map[string]bool{}
+	if hasParams {
+		for _, kv := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			key = strings.TrimSpace(key)
+			val = strings.TrimSpace(val)
+			if !ok || key == "" || val == "" {
+				return Process{}, fmt.Errorf("opensys: bad parameter %q in %q (want key=val)", kv, spec)
+			}
+			if seen[key] {
+				return Process{}, fmt.Errorf("opensys: duplicate parameter %q in %q", key, spec)
+			}
+			seen[key] = true
+			var err error
+			switch key {
+			case "lambda":
+				_, err = fmt.Sscanf(val, "%g", &p.Lambda)
+			case "interval":
+				p.Interval, err = parseDuration(val)
+			case "jobs":
+				_, err = fmt.Sscanf(val, "%d", &p.Jobs)
+			case "deadline":
+				p.Deadline, err = parseDuration(val)
+			case "cap":
+				_, err = fmt.Sscanf(val, "%d", &p.Cap)
+			case "window":
+				p.Window, err = parseDuration(val)
+			default:
+				return Process{}, fmt.Errorf("opensys: unknown parameter %q in %q", key, spec)
+			}
+			if err != nil {
+				return Process{}, fmt.Errorf("opensys: parameter %s=%q in %q: %v", key, val, spec, err)
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Process{}, err
+	}
+	return p, nil
+}
+
+// parseDuration converts a Go duration string to simulated time.
+func parseDuration(s string) (sim.Time, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %v", d)
+	}
+	return sim.Time(d.Nanoseconds()) * sim.Nanosecond, nil
+}
+
+// Validate reports structural errors in the process.
+func (p Process) Validate() error {
+	switch p.Kind {
+	case KindPoisson:
+		if p.Lambda <= 0 {
+			return fmt.Errorf("opensys: poisson arrivals need lambda > 0 (jobs/second)")
+		}
+	case KindFixed:
+		if p.Interval <= 0 {
+			return fmt.Errorf("opensys: fixed arrivals need interval > 0")
+		}
+	default:
+		return fmt.Errorf("opensys: unknown arrival process kind %q", p.Kind)
+	}
+	if p.Jobs < 1 {
+		return fmt.Errorf("opensys: jobs must be >= 1, got %d", p.Jobs)
+	}
+	if p.Deadline < 0 || p.Window < 0 || p.Cap < 0 {
+		return fmt.Errorf("opensys: negative parameter in %+v", p)
+	}
+	return nil
+}
+
+// String renders the process in canonical spec form: kind, then the
+// non-default parameters in fixed order. Parse(p.String()) reproduces p.
+func (p Process) String() string {
+	var parts []string
+	switch p.Kind {
+	case KindPoisson:
+		parts = append(parts, fmt.Sprintf("lambda=%g", p.Lambda))
+	case KindFixed:
+		parts = append(parts, fmt.Sprintf("interval=%s", durationSpec(p.Interval)))
+	}
+	parts = append(parts, fmt.Sprintf("jobs=%d", p.Jobs))
+	if p.Deadline > 0 {
+		parts = append(parts, fmt.Sprintf("deadline=%s", durationSpec(p.Deadline)))
+	}
+	if p.Cap > 0 {
+		parts = append(parts, fmt.Sprintf("cap=%d", p.Cap))
+	}
+	if p.Window > 0 {
+		parts = append(parts, fmt.Sprintf("window=%s", durationSpec(p.Window)))
+	}
+	return p.Kind + ":" + strings.Join(parts, ",")
+}
+
+// durationSpec renders t as a Go duration string parseable by Parse.
+func durationSpec(t sim.Time) string {
+	return time.Duration(int64(t) / int64(sim.Nanosecond)).String()
+}
+
+// Schedule derives the deterministic arrival schedule for the process:
+// Jobs absolute arrival times in nondecreasing order. The same (p, seed)
+// pair always returns the identical slice; the stream is independent of
+// every other consumer of the seed.
+func (p Process) Schedule(seed uint64) []sim.Time {
+	times := make([]sim.Time, p.Jobs)
+	switch p.Kind {
+	case KindFixed:
+		for i := range times {
+			times[i] = sim.Time(i) * p.Interval
+		}
+	case KindPoisson:
+		rng := xrand.New(seed).Stream("opensys.arrivals")
+		meanGapPs := float64(sim.Second) / p.Lambda
+		var at sim.Time
+		for i := range times {
+			at += sim.Time(rng.Exp(meanGapPs))
+			times[i] = at
+		}
+	}
+	return times
+}
+
+// JobSeed derives the workload seed for one job of the stream: every
+// job gets an independent sub-stream of the run seed, so per-job DAG
+// instances differ while the whole stream stays reproducible.
+func JobSeed(seed uint64, job int) uint64 {
+	return xrand.New(seed).Stream(fmt.Sprintf("opensys.job.%d", job)).Uint64()
+}

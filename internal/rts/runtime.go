@@ -33,6 +33,11 @@ type Config struct {
 	// recorder). Recording is a pure observation: makespans and every
 	// other result are bit-identical with and without it.
 	Recorder probe.Recorder
+	// Open, when non-nil, switches the runtime to open-system mode: jobs
+	// arrive over time via Runtime.Inject instead of a single master
+	// thread stepping through Program, which must then be nil. See
+	// OpenConfig.
+	Open *OpenConfig
 }
 
 // Result summarizes one run.
@@ -83,6 +88,10 @@ type Runtime struct {
 	creatorDone bool
 	nextTaskID  int
 
+	// open is the open-system state; nil for closed-system runs, which
+	// keeps every open-mode branch off the closed hot paths.
+	open *openState
+
 	finished bool
 	timedOut bool
 	makespan sim.Time
@@ -115,11 +124,20 @@ type coreRun struct {
 
 // New builds a runtime from the configuration.
 func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
-	if cfg.Machine == nil || cfg.Program == nil || cfg.NewScheduler == nil || cfg.Estimator == nil {
+	if cfg.Machine == nil || cfg.NewScheduler == nil || cfg.Estimator == nil {
 		return nil, fmt.Errorf("rts: incomplete config (machine/program/scheduler/estimator required)")
 	}
-	if err := cfg.Program.Validate(); err != nil {
-		return nil, err
+	if cfg.Open != nil {
+		if cfg.Program != nil {
+			return nil, fmt.Errorf("rts: open-system config must not carry a Program (jobs arrive via Inject)")
+		}
+	} else {
+		if cfg.Program == nil {
+			return nil, fmt.Errorf("rts: incomplete config (machine/program/scheduler/estimator required)")
+		}
+		if err := cfg.Program.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if err := cfg.Options.Validate(); err != nil {
 		return nil, err
@@ -137,6 +155,12 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 		rec:         cfg.Recorder,
 		idle:        newCoreSet(cfg.Machine.Cores()),
 		critRunning: newCoreSet(cfg.Machine.Cores()),
+	}
+	if cfg.Open != nil {
+		// No master thread: core 0 is an ordinary worker and the creator
+		// is permanently done.
+		r.creatorDone = true
+		r.open = &openState{cfg: *cfg.Open, taskJob: make(map[*tdg.Task]*openJob)}
 	}
 	r.percore = make([]coreRun, cfg.Machine.Cores())
 	for i := range r.percore {
@@ -213,12 +237,28 @@ func (r *Runtime) Run() (Result, error) {
 		r.sampleCb = r.sampleQueues
 		r.eng.After(queueSamplePeriod, r.sampleCb)
 	}
+	if r.open != nil {
+		// Degenerate open runs (every arrival shed before t=0, or none
+		// injected) would otherwise never reach a completion-side finish
+		// check. Open-mode only: closed runs add no extra event.
+		r.eng.At(0, func() {
+			if !r.finished && r.openFinished() {
+				r.finish()
+			}
+		})
+	}
 	r.eng.Run()
 
 	switch {
+	case r.timedOut && r.open != nil:
+		return Result{}, fmt.Errorf("rts: open-system run exceeded MaxSimTime %v (pending=%d in-system=%d live=%d ready=%d)",
+			r.opts.MaxSimTime, r.open.pending, r.open.inSystem, r.graph.Live(), r.schedq.Len())
 	case r.timedOut:
 		return Result{}, fmt.Errorf("rts: %s exceeded MaxSimTime %v (live=%d ready=%d)",
 			r.prog.Name, r.opts.MaxSimTime, r.graph.Live(), r.schedq.Len())
+	case !r.finished && r.open != nil:
+		return Result{}, fmt.Errorf("rts: open-system run deadlocked: pending=%d in-system=%d, %d live, %d ready",
+			r.open.pending, r.open.inSystem, r.graph.Live(), r.schedq.Len())
 	case !r.finished:
 		return Result{}, fmt.Errorf("rts: %s deadlocked: creator at %d/%d, %d live, %d ready",
 			r.prog.Name, r.creatorNext, len(r.prog.Items), r.graph.Live(), r.schedq.Len())
@@ -464,6 +504,15 @@ func (cs *coreRun) finished() {
 	r := cs.r
 	r.graph.Complete(cs.task) // releases successors; onTaskReady fires
 	r.tasksRun++
+	if r.open != nil {
+		r.openTaskDone(cs.task)
+		if r.openFinished() {
+			r.finish()
+			return
+		}
+		r.workerLoop(cs.core)
+		return
+	}
 	r.maybeWakeCreator()
 	if r.creatorDone && r.graph.AllDone() {
 		r.finish()

@@ -231,6 +231,12 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if cfg.Arrivals != "" {
+		if err := cata.ValidateArrivals(cfg.Arrivals); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	label := fmt.Sprintf("%s/%v/fast=%d", cfg.Workload, cfg.Policy, cfg.FastCores)
 	s.submit(w, r, "run", label, []cata.RunConfig{cfg})
 }

@@ -170,15 +170,30 @@ func (h *Hist) Quantile(q float64) sim.Time {
 	for i, c := range h.buckets {
 		seen += c
 		if seen > target {
-			lo := int64(1) << uint(i)
-			if i == 0 {
-				lo = 0
-			}
-			hi := int64(1) << uint(i+1)
-			return sim.Time((lo + hi) / 2)
+			return bucketMid(i)
 		}
 	}
 	return 0
+}
+
+// bucketMid returns the midpoint of bucket i's [2^i, 2^(i+1)) range.
+// The arithmetic is done in uint64 halves because the naive
+// int64(1)<<uint(i+1) upper bound overflows to negative at i=62 and to
+// zero at i=63, which used to return negative quantiles for very large
+// durations. Bucket 63's upper bound is not representable in int64, so
+// it is clamped to MaxInt64; every bucket up to 62 keeps the exact
+// midpoint the pre-clamp code produced (both bounds are even, so
+// lo/2+hi/2 == (lo+hi)/2).
+func bucketMid(i int) sim.Time {
+	var lo uint64
+	if i > 0 {
+		lo = 1 << uint(i)
+	}
+	hi := uint64(math.MaxInt64)
+	if i < 63 {
+		hi = 1 << uint(i+1)
+	}
+	return sim.Time(lo/2 + hi/2)
 }
 
 // String renders the non-empty buckets, for debugging.

@@ -118,6 +118,62 @@ func TestHistQuantileOrdering(t *testing.T) {
 	}
 }
 
+// The top buckets used to overflow: the naive int64(1)<<uint(i+1) upper
+// bound goes negative at i=62 and to zero at i=63, so quantiles of very
+// large durations came back negative. Pin the boundary behavior.
+func TestHistTopBucketBoundaries(t *testing.T) {
+	// Bucket 61: [2^61, 2^62), midpoint 3*2^60.
+	var h61 Hist
+	h61.Observe(sim.Time(int64(1) << 61))
+	if got, want := h61.Quantile(1), sim.Time(3*(int64(1)<<60)); got != want {
+		t.Fatalf("bucket 61 midpoint = %d, want %d", got, want)
+	}
+
+	// Bucket 62 is the top reachable bucket: log2Bucket(MaxInt64) == 62.
+	var h62 Hist
+	h62.Observe(sim.Time(math.MaxInt64))
+	got := h62.Quantile(0.999)
+	if got <= 0 {
+		t.Fatalf("bucket 62 quantile = %d, want positive (overflow regression)", got)
+	}
+	if want := sim.Time(3 * (int64(1) << 61)); got != want {
+		t.Fatalf("bucket 62 midpoint = %d, want %d", got, want)
+	}
+
+	// Direct midpoint checks, including the unreachable-by-Observe bucket
+	// 63 whose upper bound is clamped to MaxInt64.
+	for i := 0; i < 64; i++ {
+		m := bucketMid(i)
+		if m <= 0 {
+			t.Fatalf("bucketMid(%d) = %d, want positive", i, m)
+		}
+	}
+	if got, want := bucketMid(63), sim.Time(math.MaxInt64); got != want {
+		t.Fatalf("bucketMid(63) = %d, want MaxInt64 %d", got, want)
+	}
+	// Buckets 0..62 must keep the exact pre-fix midpoints.
+	if bucketMid(0) != 1 {
+		t.Fatalf("bucketMid(0) = %d, want 1", bucketMid(0))
+	}
+	for i := 1; i <= 62; i++ {
+		if got, want := bucketMid(i), sim.Time(3*(int64(1)<<uint(i-1))); got != want {
+			t.Fatalf("bucketMid(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// Quantiles stay monotone even when observations span the top buckets.
+func TestHistTopBucketMonotone(t *testing.T) {
+	var h Hist
+	h.Observe(sim.Time(int64(1) << 61))
+	h.Observe(sim.Time(int64(1) << 62))
+	h.Observe(sim.Time(math.MaxInt64))
+	p50, p99, p999 := h.Quantile(0.5), h.Quantile(0.99), h.Quantile(0.999)
+	if !(0 < p50 && p50 <= p99 && p99 <= p999) {
+		t.Fatalf("top-bucket quantiles not monotone positive: %d %d %d", p50, p99, p999)
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
 		t.Fatalf("GeoMean = %v, want 4", got)

@@ -4,7 +4,9 @@
 # an ephemeral port, check /healthz, drive one POST /v1/runs job to
 # completion, verify its SSE stream replays a terminal event, fetch a
 # traced job's flight recording from /v1/jobs/{id}/trace and validate
-# it, then shut the daemon down with SIGTERM and require a clean drain.
+# it, run an open-system traffic job and assert its response-time
+# report, then shut the daemon down with SIGTERM and require a clean
+# drain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -98,6 +100,34 @@ if curl -fsS -o /dev/null "$BASE/v1/jobs/$ID/trace" 2>/dev/null; then
 fi
 echo "catad-smoke: traced job ok ($(wc -c < "$DIR/trace.json") bytes)"
 
+# An open-system traffic run: the result payload must carry the "open"
+# report with response-time percentiles, and a malformed arrival spec
+# must be rejected at admission with a 400 (not enqueued and failed).
+JOB4=$(curl -fsS -X POST "$BASE/v1/runs" -H 'Content-Type: application/json' \
+    -d '{"workload":"forkjoin:width=4,phases=2,dur=50","policy":"CATA","fast_cores":8,"cores":8,"arrivals":"poisson:lambda=2000,jobs=20,deadline=5ms,cap=4"}')
+ID4=$(printf '%s' "$JOB4" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$ID4" ] || { echo "catad-smoke: no job id in: $JOB4"; exit 1; }
+STATE=""
+for _ in $(seq 1 200); do
+    STATE=$(curl -fsS "$BASE/v1/jobs/$ID4" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+    [ "$STATE" = "succeeded" ] && break
+    case "$STATE" in failed|canceled) echo "catad-smoke: open-system job $STATE"; exit 1 ;; esac
+    sleep 0.1
+done
+[ "$STATE" = "succeeded" ] || { echo "catad-smoke: open-system job stuck in '$STATE'"; exit 1; }
+curl -fsS "$BASE/v1/jobs/$ID4" > "$DIR/open.json"
+grep -q '"open"' "$DIR/open.json" \
+    || { echo "catad-smoke: open-system result missing \"open\" report"; cat "$DIR/open.json"; exit 1; }
+for field in jobs_arrived jobs_completed p50_response_ns p99_response_ns p999_response_ns; do
+    grep -q "\"$field\"" "$DIR/open.json" \
+        || { echo "catad-smoke: open report missing $field"; cat "$DIR/open.json"; exit 1; }
+done
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/runs" \
+    -H 'Content-Type: application/json' \
+    -d '{"workload":"swaptions","policy":"CATA","arrivals":"poisson:lambda=-1"}')
+[ "$CODE" = "400" ] || { echo "catad-smoke: bad arrival spec got HTTP $CODE, want 400"; exit 1; }
+echo "catad-smoke: open-system run ok"
+
 # /metrics must serve well-formed Prometheus text exposition: every
 # non-comment line is `name{labels} value`, and the counters reflect
 # the two jobs this script just ran (one simulated, one cache-served).
@@ -111,13 +141,18 @@ metric() {
 SUCCEEDED=$(metric 'cata_jobs_completed_total{state="succeeded"}')
 HITS=$(metric 'cata_cache_hits_total')
 MISSES=$(metric 'cata_cache_misses_total')
+OPENJOBS=$(metric 'cata_opensys_jobs_total')
 [ -n "$SUCCEEDED" ] && [ "${SUCCEEDED%.*}" -ge 2 ] \
     || { echo "catad-smoke: completed{succeeded}=$SUCCEEDED, want >= 2"; exit 1; }
 [ -n "$HITS" ] && [ "${HITS%.*}" -ge 1 ] \
     || { echo "catad-smoke: cache hits=$HITS, want >= 1"; exit 1; }
 [ -n "$MISSES" ] && [ "${MISSES%.*}" -ge 1 ] \
     || { echo "catad-smoke: cache misses=$MISSES, want >= 1"; exit 1; }
-echo "catad-smoke: /metrics ok (succeeded=$SUCCEEDED hits=$HITS misses=$MISSES)"
+[ -n "$OPENJOBS" ] && [ "${OPENJOBS%.*}" -ge 20 ] \
+    || { echo "catad-smoke: opensys jobs=$OPENJOBS, want >= 20"; exit 1; }
+grep -q '^cata_opensys_response_seconds_bucket' "$DIR/metrics" \
+    || { echo "catad-smoke: missing opensys response histogram"; exit 1; }
+echo "catad-smoke: /metrics ok (succeeded=$SUCCEEDED hits=$HITS misses=$MISSES opensys=$OPENJOBS)"
 
 kill -TERM "$PID"
 wait "$PID" || { echo "catad-smoke: unclean exit"; cat "$DIR/log"; exit 1; }

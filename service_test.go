@@ -11,7 +11,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -288,5 +290,50 @@ func TestServiceClientEventsReplay(t *testing.T) {
 	wantErr := fmt.Errorf("stop")
 	if err := c.Events(ctx, st.ID, func(cata.JobEvent) error { return wantErr }); !errors.Is(err, wantErr) {
 		t.Fatalf("fn error not surfaced: %v", err)
+	}
+}
+
+// Hostile job IDs must be path-escaped by every ServiceClient method
+// that splices an ID into a URL — an ID like "../../metrics" or one
+// with a slash must reach the server as a single escaped path segment,
+// not rewrite the request target.
+func TestServiceClientEscapesJobIDs(t *testing.T) {
+	const hostile = "../evil/..%2Fid?x=1#f"
+	want := "/v1/jobs/" + url.PathEscape(hostile)
+
+	var mu sync.Mutex
+	var got []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		got = append(got, r.URL.EscapedPath())
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"x","state":"succeeded"}`)
+	}))
+	defer ts.Close()
+	c := cata.NewServiceClient(ts.URL, nil)
+	ctx := context.Background()
+
+	if _, err := c.Job(ctx, hostile); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(ctx, hostile); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Events(ctx, hostile, func(cata.JobEvent) error { return nil })
+	if _, err := c.Trace(ctx, hostile); err != nil {
+		t.Fatal(err)
+	}
+
+	wants := []string{want, want, want + "/events", want + "/trace"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(wants) {
+		t.Fatalf("server saw %d requests %q, want %d", len(got), got, len(wants))
+	}
+	for i, p := range got {
+		if p != wants[i] {
+			t.Errorf("request %d hit %q, want %q", i, p, wants[i])
+		}
 	}
 }
