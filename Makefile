@@ -24,7 +24,7 @@ COVER_FLOOR ?= 75.0
 # Fuzz-smoke budget for the internal/sim engine harness.
 FUZZTIME ?= 30s
 
-.PHONY: all build test bench bench-capture bench-check vet fmt fmt-check smoke catad-smoke opensys-smoke fuzz-smoke cover cover-check lint docs-check ci
+.PHONY: all build test bench bench-capture bench-check vet fmt fmt-check smoke catad-smoke policies-smoke opensys-smoke fuzz-smoke cover cover-check lint docs-check ci
 
 all: build
 
@@ -79,6 +79,13 @@ smoke:
 catad-smoke:
 	bash scripts/catad-smoke.sh
 
+# Exercises the policy registry end to end through catad: lists
+# /v1/policies (AMTHA with typed params must be there), submits a run
+# and a sweep by parameterized spec string, and requires structured
+# 400s for hostile specs.
+policies-smoke:
+	bash scripts/policies-smoke.sh
+
 # Exercises the open-system traffic path end to end: the seeded
 # determinism, overload shedding and report-shape tests, plus one real
 # catasim -arrivals run.
@@ -121,6 +128,6 @@ docs-check:
 # tool installs (lint degrades gracefully when staticcheck/govulncheck
 # are absent). Short fuzz budget and the portable bench gate keep it
 # runnable on any hardware.
-ci: fmt-check build lint test smoke catad-smoke cover-check docs-check
+ci: fmt-check build lint test smoke catad-smoke policies-smoke cover-check docs-check
 	$(MAKE) fuzz-smoke FUZZTIME=10s
 	$(MAKE) bench-check BENCH_GATE=portable

@@ -1,7 +1,6 @@
 package cata
 
 import (
-	"fmt"
 	"io"
 	"time"
 
@@ -11,35 +10,48 @@ import (
 	"cata/internal/workloads"
 )
 
-// Policy selects one of the paper's evaluated system configurations.
-type Policy int
+// Policy selects a system configuration by its policy spec: the name of
+// a registered policy, optionally followed by typed parameters —
+// "CATA+RSU", "CATS+BL:theta=0.8", "AMTHA:tiebreak=spread". The
+// constants below name the built-in configurations; anything in
+// PolicyDocs — including policies registered after this module was
+// written — is an equally valid value. Use ParsePolicy to validate and
+// canonicalize user input; the zero value means PolicyFIFO.
+type Policy string
 
-// The six policies of the evaluation (§V).
+// The paper's six evaluated configurations (§V), the two built-in
+// extensions, and the first externally registered policy.
 const (
 	// PolicyFIFO: baseline FIFO scheduler on a statically heterogeneous
 	// machine; criticality-blind (§II-C).
-	PolicyFIFO Policy = iota
+	PolicyFIFO Policy = "FIFO"
 	// PolicyCATSBL: criticality-aware task scheduling with dynamic
-	// bottom-level criticality estimation (§II-B, [24]).
-	PolicyCATSBL
+	// bottom-level criticality estimation (§II-B, [24]). Accepts a
+	// `theta` parameter: the criticality threshold in (0,1].
+	PolicyCATSBL Policy = "CATS+BL"
 	// PolicyCATSSA: criticality-aware task scheduling with static
 	// criticality annotations (the paper's criticality(c) clause).
-	PolicyCATSSA
+	PolicyCATSSA Policy = "CATS+SA"
 	// PolicyCATA: criticality-aware task acceleration in software —
 	// runtime-driven DVFS through the cpufreq stack (§III-A).
-	PolicyCATA
+	PolicyCATA Policy = "CATA"
 	// PolicyCATARSU: CATA with the hardware Runtime Support Unit (§III-B).
-	PolicyCATARSU
+	PolicyCATARSU Policy = "CATA+RSU"
 	// PolicyTurboMode: the criticality-blind TurboMode comparator (§V-D).
-	PolicyTurboMode
+	PolicyTurboMode Policy = "TurboMode"
 	// PolicyCATARSUHA: extension beyond the paper — CATA+RSU that
 	// releases the budget of IO-halted cores and restores it on wake,
 	// adopting the one TurboMode behavior §V-D concedes is superior.
-	PolicyCATARSUHA
+	PolicyCATARSUHA Policy = "CATA+RSU-HA"
 	// PolicyCATA3L: extension beyond the paper — three acceleration
 	// levels (1/1.5/2 GHz) under a power-unit budget, the multi-level
 	// generalization §III leaves as future work.
-	PolicyCATA3L
+	PolicyCATA3L Policy = "CATA+RSU-3L"
+	// PolicyAMTHA: registered extension — De Giusti et al.'s static
+	// task-to-core mapping by accumulated-time list scheduling, the
+	// static contrast point to CATA's dynamic acceleration. Accepts a
+	// `tiebreak` parameter: index, spread or accum.
+	PolicyAMTHA Policy = "AMTHA"
 )
 
 // AllPolicies returns every paper-evaluated policy in evaluation order
@@ -57,39 +69,71 @@ func fromInternalAll(ips []exp.Policy) []Policy {
 	return ps
 }
 
-// PolicyInfo documents one policy: its label, a one-line summary, and
-// whether it goes beyond the paper. The list returned by PolicyDocs is
-// the single source of truth behind every policy list in this module —
-// CLI help strings and the README table derive from it.
+// PolicyParam documents one typed policy parameter, as accepted in a
+// policy spec's `key=val` list and validated before a run is admitted.
+type PolicyParam struct {
+	// Key is the parameter name as written in a spec.
+	Key string `json:"key"`
+	// Kind is the declared value type: "string", "int", "float" or
+	// "enum".
+	Kind string `json:"kind"`
+	// Default describes the value used when the key is absent.
+	Default string `json:"default"`
+	// Help is a one-line description.
+	Help string `json:"help"`
+	// Choices lists the accepted values of an enum parameter.
+	Choices []string `json:"choices,omitempty"`
+}
+
+// PolicyInfo documents one registered policy: its label, a one-line
+// summary, its typed parameters, and whether it goes beyond the paper.
+// The list returned by PolicyDocs is the single source of truth behind
+// every policy list in this module — CLI help strings and the README
+// table derive from it.
 type PolicyInfo struct {
-	// Policy is the value itself.
+	// Policy is the bare spec value.
 	Policy Policy `json:"policy"`
-	// Label is the paper's name, as parsed by ParsePolicy.
+	// Label is the policy's name, as parsed by ParsePolicy.
 	Label string `json:"label"`
 	// Extension marks beyond-the-paper configurations.
 	Extension bool `json:"extension,omitempty"`
 	// Summary is a one-line description.
 	Summary string `json:"summary"`
+	// Params documents the spec parameters the policy accepts.
+	Params []PolicyParam `json:"params,omitempty"`
 }
 
-// PolicyDocs returns documentation for all eight policies: the paper's
-// six in evaluation order, then the two extensions.
+// PolicyDocs returns documentation for every registered policy: the
+// paper's six in evaluation order, then the built-in extensions, then
+// external registrations like AMTHA.
 func PolicyDocs() []PolicyInfo {
 	ds := exp.PolicyDocs()
 	infos := make([]PolicyInfo, len(ds))
 	for i, d := range ds {
+		params := make([]PolicyParam, len(d.Params))
+		for j, pd := range d.Params {
+			params[j] = PolicyParam{
+				Key:     pd.Key,
+				Kind:    pd.Kind.String(),
+				Default: pd.Default,
+				Help:    pd.Help,
+				Choices: append([]string(nil), pd.Choices...),
+			}
+		}
 		infos[i] = PolicyInfo{
 			Policy:    fromInternal(d.Policy),
 			Label:     d.Label,
 			Extension: d.Extension,
 			Summary:   d.Summary,
+			Params:    params,
 		}
 	}
 	return infos
 }
 
-// PolicyLabels returns the labels of all eight policies, the accepted
-// inputs of ParsePolicy. CLI -policy help strings are built from it.
+// PolicyLabels returns the names of every registered policy, the
+// accepted bare inputs of ParsePolicy. CLI -policy help strings are
+// built from it.
 func PolicyLabels() []string {
 	ds := exp.PolicyDocs()
 	labels := make([]string, len(ds))
@@ -109,17 +153,19 @@ func Fig5Policies() []Policy {
 	return []Policy{PolicyCATA, PolicyCATARSU, PolicyTurboMode}
 }
 
-// String returns the paper's label for the policy.
+// String returns the policy's canonical spec (for the built-in
+// configurations, the paper's label).
 func (p Policy) String() string { return p.internal().String() }
 
-// MarshalJSON encodes the policy as its paper label (e.g. "CATA+RSU"),
-// the same representation the result cache and the catad wire format
-// use, so JSON stays readable and stable across enum reorderings.
+// MarshalJSON encodes the policy as its canonical spec string (e.g.
+// "CATA+RSU"), the same representation the result cache and the catad
+// wire format use, so JSON stays readable and stable.
 func (p Policy) MarshalJSON() ([]byte, error) {
 	return p.internal().MarshalJSON()
 }
 
-// UnmarshalJSON decodes a paper label, as accepted by ParsePolicy.
+// UnmarshalJSON decodes and validates a policy spec, as accepted by
+// ParsePolicy.
 func (p *Policy) UnmarshalJSON(b []byte) error {
 	var ip exp.Policy
 	if err := ip.UnmarshalJSON(b); err != nil {
@@ -129,61 +175,30 @@ func (p *Policy) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// ParsePolicy converts a paper label ("FIFO", "CATS+BL", "CATS+SA",
-// "CATA", "CATA+RSU", "TurboMode") to a Policy.
+// ParsePolicy resolves a policy spec — a registered name, matched
+// case-insensitively, with optional typed parameters ("FIFO",
+// "cata+rsu", "CATS+BL:theta=0.8", "AMTHA:tiebreak=spread") — against
+// the policy registry, validating every parameter key, type and bound.
+// The returned Policy is canonical: case and parameter order are
+// normalized so equal configurations compare (and cache) equal.
 func ParsePolicy(s string) (Policy, error) {
 	ip, err := exp.ParsePolicy(s)
 	if err != nil {
-		return 0, err
+		return "", err
 	}
 	return fromInternal(ip), nil
 }
 
-func (p Policy) internal() exp.Policy {
-	switch p {
-	case PolicyFIFO:
-		return exp.FIFO
-	case PolicyCATSBL:
-		return exp.CATSBL
-	case PolicyCATSSA:
-		return exp.CATSSA
-	case PolicyCATA:
-		return exp.CATA
-	case PolicyCATARSU:
-		return exp.CATARSU
-	case PolicyTurboMode:
-		return exp.TURBO
-	case PolicyCATARSUHA:
-		return exp.CATARSUHA
-	case PolicyCATA3L:
-		return exp.CATA3L
-	default:
-		panic(fmt.Sprintf("cata: unknown policy %d", int(p)))
-	}
+// ValidatePolicy reports whether a policy spec resolves against the
+// registry, without running anything. Services use it to reject bad
+// specs at admission time; the error names the offending parameter.
+func ValidatePolicy(s string) error {
+	_, err := exp.ParsePolicy(s)
+	return err
 }
 
-func fromInternal(p exp.Policy) Policy {
-	switch p {
-	case exp.FIFO:
-		return PolicyFIFO
-	case exp.CATSBL:
-		return PolicyCATSBL
-	case exp.CATSSA:
-		return PolicyCATSSA
-	case exp.CATA:
-		return PolicyCATA
-	case exp.CATARSU:
-		return PolicyCATARSU
-	case exp.TURBO:
-		return PolicyTurboMode
-	case exp.CATARSUHA:
-		return PolicyCATARSUHA
-	case exp.CATA3L:
-		return PolicyCATA3L
-	default:
-		panic(fmt.Sprintf("cata: unknown internal policy %d", int(p)))
-	}
-}
+func (p Policy) internal() exp.Policy  { return exp.Policy(p) }
+func fromInternal(p exp.Policy) Policy { return Policy(p) }
 
 // RunConfig describes one simulation. The JSON form (snake_case keys,
 // policies as paper labels, durations in nanoseconds) is the request

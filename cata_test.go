@@ -226,7 +226,7 @@ func TestExportDOTBuiltinWorkloads(t *testing.T) {
 }
 
 func TestExtensionPoliciesPublic(t *testing.T) {
-	if len(ExtensionPolicies()) != 2 {
+	if len(ExtensionPolicies()) != 3 {
 		t.Fatal("extension policies wrong")
 	}
 	for _, p := range ExtensionPolicies() {
@@ -287,5 +287,65 @@ func TestMatrixConfigsDefaults(t *testing.T) {
 	}.Configs()
 	if len(small) != 2 || small[0].Seed != 7 || small[1].Seed != 8 || small[0].Scale != 0.5 {
 		t.Fatalf("explicit expansion = %+v", small)
+	}
+}
+
+// TestPolicySpecsPublic: the spec grammar works end to end through the
+// public surface — parse, canonicalize, validate, and run.
+func TestPolicySpecsPublic(t *testing.T) {
+	// ParsePolicy canonicalizes name casing and key order.
+	p, err := ParsePolicy("amtha:tiebreak=accum")
+	if err != nil || p != Policy("AMTHA:tiebreak=accum") {
+		t.Fatalf("ParsePolicy spec = %v, %v", p, err)
+	}
+	if p, err := ParsePolicy("cata+rsu"); err != nil || p != PolicyCATARSU {
+		t.Fatalf("case-folded parse = %v, %v", p, err)
+	}
+
+	// ValidatePolicy accepts what ParsePolicy accepts and rejects
+	// hostile specs without running anything.
+	if err := ValidatePolicy("CATS+BL:theta=0.5"); err != nil {
+		t.Fatalf("ValidatePolicy: %v", err)
+	}
+	for _, bad := range []string{
+		"NoSuchPolicy", "AMTHA:tiebreak=bogus", "AMTHA:bogus=1",
+		"CATS+BL:theta=0", "CATS+BL:theta=two", "FIFO:hint=1", "",
+	} {
+		if err := ValidatePolicy(bad); err == nil {
+			t.Errorf("ValidatePolicy(%q) accepted a hostile spec", bad)
+		}
+	}
+
+	// A parameterized spec runs through the public Run.
+	res, err := Run(RunConfig{
+		Workload: "dedup", Policy: Policy("AMTHA:tiebreak=spread"),
+		FastCores: 4, Scale: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("AMTHA result = %+v", res)
+	}
+}
+
+// TestPolicyDocsDescribeParams: PolicyDocs carries the typed parameter
+// docs, and every documented label parses back to its bare policy.
+func TestPolicyDocsDescribeParams(t *testing.T) {
+	byLabel := map[string]PolicyInfo{}
+	for _, d := range PolicyDocs() {
+		byLabel[d.Label] = d
+	}
+	bl, ok := byLabel["CATS+BL"]
+	if !ok || len(bl.Params) != 1 || bl.Params[0].Key != "theta" || bl.Params[0].Kind != "float" {
+		t.Fatalf("CATS+BL docs = %+v", bl)
+	}
+	am, ok := byLabel["AMTHA"]
+	if !ok || !am.Extension || len(am.Params) != 1 {
+		t.Fatalf("AMTHA docs = %+v", am)
+	}
+	if p := am.Params[0]; p.Key != "tiebreak" || p.Kind != "enum" ||
+		strings.Join(p.Choices, ",") != "index,spread,accum" {
+		t.Fatalf("AMTHA param = %+v", p)
 	}
 }

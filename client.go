@@ -288,8 +288,10 @@ func (c *ServiceClient) Trace(ctx context.Context, id string) ([]byte, error) {
 	return body, err
 }
 
-// Policies fetches GET /v1/policies: the daemon's policy table, as
-// documented by PolicyDocs.
+// Policies fetches GET /v1/policies: the daemon's policy registry —
+// every registered policy with its summary and typed parameters, as
+// documented by PolicyDocs. A spec accepted here is submittable to
+// POST /v1/runs by its string alone.
 func (c *ServiceClient) Policies(ctx context.Context) ([]PolicyInfo, error) {
 	var ps []PolicyInfo
 	err := c.do(ctx, http.MethodGet, "/v1/policies", nil, &ps)

@@ -8,7 +8,7 @@
 //
 //	GET    /healthz              liveness/readiness (503 while draining)
 //	GET    /metrics              Prometheus text-format telemetry
-//	GET    /v1/policies          the eight policies with documentation
+//	GET    /v1/policies          the policy registry with documentation
 //	GET    /v1/workloads         the workload registry
 //	POST   /v1/runs              submit one simulation (RunConfig JSON)
 //	POST   /v1/sweeps            submit a matrix (MatrixConfig JSON)

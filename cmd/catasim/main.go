@@ -2,14 +2,19 @@
 // with a fast-core budget, printing the measured execution time, energy,
 // EDP and reconfiguration statistics.
 //
-// Workloads are specs resolved against the registry: a bare name or a
-// parameterized form ("name:key=val,..."). -list prints every registered
-// workload with its parameters.
+// Workloads and policies are both specs resolved against their
+// registries: a bare name or a parameterized form ("name:key=val,...").
+// -list prints every registered workload and policy with its
+// parameters. -vs runs a second policy on the same configuration and
+// reports speedup and normalized EDP against it (e.g. the static AMTHA
+// mapping versus CATA's dynamic acceleration); -baseline is the FIFO
+// shorthand.
 //
 // Examples:
 //
 //	catasim -workload dedup -policy CATA -fast 16
 //	catasim -workload 'layered:seed=7,width=16,depth=32' -policy CATA+RSU -fast 24
+//	catasim -workload dedup -policy AMTHA:tiebreak=spread -vs CATA
 //	catasim -workload swaptions -export swaptions.json
 //	catasim -workload trace:file=swaptions.json -policy CATA -fast 16
 //	catasim -workload 'forkjoin:width=8,phases=4' -arrivals 'poisson:lambda=2000,jobs=40,deadline=5ms'
@@ -31,13 +36,14 @@ import (
 func main() {
 	var (
 		workload = flag.String("workload", "swaptions", "workload spec, name[:key=val,...] (see -list)")
-		policy   = flag.String("policy", "CATA", strings.Join(cata.PolicyLabels(), " | "))
+		policy   = flag.String("policy", "CATA", "policy spec, name[:key=val,...]: "+strings.Join(cata.PolicyLabels(), " | ")+" (see -list)")
 		fast     = flag.Int("fast", 16, "power budget (fast cores)")
 		cores    = flag.Int("cores", 32, "machine size")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		scale    = flag.Float64("scale", 1.0, "workload scale in (0,1]")
-		list     = flag.Bool("list", false, "list registered workloads and their parameters, then exit")
+		list     = flag.Bool("list", false, "list registered workloads and policies with their parameters, then exit")
 		baseline = flag.Bool("baseline", false, "also run FIFO and report speedup / normalized EDP")
+		vs       = flag.String("vs", "", "also run this policy spec and report speedup / normalized EDP against it")
 		traceOut = flag.String("trace", "", "write the run's flight recording (Chrome trace JSON) to this file")
 		dotOut   = flag.String("dot", "", "write the workload's TDG as Graphviz DOT to this file and exit")
 		export   = flag.String("export", "", "write the workload as a replayable JSON trace to this file and exit")
@@ -48,6 +54,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		fmt.Println("workloads:")
 		for _, w := range cata.Workloads() {
 			tasks := fmt.Sprintf("%5d tasks", w.Tasks)
 			if w.FileBacked {
@@ -56,6 +63,17 @@ func main() {
 			fmt.Printf("%-14s %s  %s\n", w.Name, tasks, w.Description)
 			for _, p := range w.Params {
 				fmt.Printf("%-14s     %-10s %s (default %s)\n", "", p.Key, p.Help, p.Default)
+			}
+		}
+		fmt.Println("\npolicies:")
+		for _, d := range cata.PolicyDocs() {
+			kind := "      paper"
+			if d.Extension {
+				kind = "  extension"
+			}
+			fmt.Printf("%-14s %s  %s\n", d.Label, kind, d.Summary)
+			for _, p := range d.Params {
+				fmt.Printf("%-14s     %-10s %s (%s, default %s)\n", "", p.Key, p.Help, p.Kind, p.Default)
 			}
 		}
 		return
@@ -117,13 +135,27 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
+	var compare []cata.Policy
+	if *baseline {
+		compare = append(compare, cata.PolicyFIFO)
+	}
+	if *vs != "" {
+		vp, err := cata.ParsePolicy(*vs)
+		if err != nil {
+			fatal(err)
+		}
+		compare = append(compare, vp)
+	}
 	cfgs := []cata.RunConfig{cfg}
-	if *baseline && pol != cata.PolicyFIFO {
-		base := cfg
-		base.Policy = cata.PolicyFIFO
-		base.TraceTo = nil
-		base.TimelineTo = nil
-		cfgs = append(cfgs, base)
+	for _, cp := range compare {
+		if cp == pol {
+			continue
+		}
+		ref := cfg
+		ref.Policy = cp
+		ref.TraceTo = nil
+		ref.TimelineTo = nil
+		cfgs = append(cfgs, ref)
 	}
 	batch, err := cata.RunBatch(ctx, cfgs, cata.BatchOptions{})
 	// A canceled batch may still hold a finished measured run — print
@@ -185,13 +217,13 @@ func main() {
 		}
 	}
 
-	if *baseline && pol != cata.PolicyFIFO {
-		if err := batch[1].Err; err != nil {
-			fatal(fmt.Errorf("FIFO baseline: %w", err))
+	for _, r := range batch[1:] {
+		if err := r.Err; err != nil {
+			fatal(fmt.Errorf("%v reference: %w", r.Config.Policy, err))
 		}
-		base := batch[1].Result
-		fmt.Printf("  vs FIFO               speedup %.3f, normalized EDP %.3f\n",
-			float64(base.Makespan)/float64(res.Makespan), res.EDP/base.EDP)
+		ref := r.Result
+		fmt.Printf("  %-22sspeedup %.3f, normalized EDP %.3f\n", "vs "+r.Config.Policy.String(),
+			float64(ref.Makespan)/float64(res.Makespan), res.EDP/ref.EDP)
 	}
 }
 

@@ -15,9 +15,12 @@
 // parameterized form such as 'layered:seed=7,width=16,depth=32' or
 // 'trace:file=capture.json' (see catasim -list). -policies selects the
 // policy set of the policies sweep ("all", "paper", "extensions", or a
-// comma-separated list of labels) and implies -sweep policies:
+// comma-separated list of policy specs, themselves optionally
+// parameterized — 'AMTHA:tiebreak=spread,CATA') and implies -sweep
+// policies:
 //
 //	catasweep -workload 'layered:seed=7,width=16,depth=32' -policies all
+//	catasweep -workload dedup -policies 'AMTHA,CATA,CATS+BL:theta=0.8'
 //
 // Sweeps execute through the batch engine: -j bounds parallelism, -cache
 // persists completed runs to a JSONL file as they finish, and a sweep
@@ -45,7 +48,7 @@ func main() {
 	var (
 		sweep    = flag.String("sweep", "", "budget | latency | granularity | seeds | extensions | policies (default budget, or policies when -policies is set)")
 		workload = flag.String("workload", "swaptions", "workload spec to sweep, name[:key=val,...]")
-		policies = flag.String("policies", "", "policies for the policies sweep: all | paper | extensions | comma-separated labels")
+		policies = flag.String("policies", "", "policies for the policies sweep: all | paper | extensions | comma-separated policy specs, name[:key=val,...]")
 		fast     = flag.Int("fast", 16, "fast cores (fixed for non-budget sweeps)")
 		scale    = flag.Float64("scale", 1.0, "workload scale (fixed for non-granularity sweeps)")
 		parallel = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
@@ -181,8 +184,12 @@ func (b *planBuilder) row(label string, cfgs ...cata.RunConfig) {
 }
 
 // parsePolicies resolves the -policies flag: a named set or a
-// comma-separated list of policy labels. All eight labels come from the
-// one policy table behind cata.PolicyDocs.
+// comma-separated list of policy specs, each a registered name with
+// optional parameters ("CATA", "AMTHA:tiebreak=spread"). The names come
+// from the one policy registry behind cata.PolicyDocs. Commas also
+// separate a spec's own parameters, so a segment shaped like a bare
+// `key=val` continues the preceding spec instead of starting a new one:
+// "AMTHA:a=1,b=2,CATA" is AMTHA with two parameters, then CATA.
 func parsePolicies(s string) ([]cata.Policy, error) {
 	switch s {
 	case "":
@@ -194,9 +201,18 @@ func parsePolicies(s string) ([]cata.Policy, error) {
 	case "extensions":
 		return cata.ExtensionPolicies(), nil
 	}
+	var specs []string
+	for _, seg := range strings.Split(s, ",") {
+		seg = strings.TrimSpace(seg)
+		if len(specs) > 0 && strings.Contains(seg, "=") && !strings.Contains(seg, ":") {
+			specs[len(specs)-1] += "," + seg
+			continue
+		}
+		specs = append(specs, seg)
+	}
 	var ps []cata.Policy
-	for _, label := range strings.Split(s, ",") {
-		p, err := cata.ParsePolicy(strings.TrimSpace(label))
+	for _, spec := range specs {
+		p, err := cata.ParsePolicy(spec)
 		if err != nil {
 			return nil, fmt.Errorf("%v (or use all | paper | extensions)", err)
 		}

@@ -99,16 +99,27 @@ func TestSweepUnknownName(t *testing.T) {
 // the one policy table; junk is rejected.
 func TestParsePolicies(t *testing.T) {
 	all, err := parsePolicies("all")
-	if err != nil || len(all) != 8 {
-		t.Fatalf("all = %v, %v; want 8 policies", all, err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("all = %v, %v; want 9 policies", all, err)
 	}
 	paper, err := parsePolicies("paper")
 	if err != nil || len(paper) != 6 {
 		t.Fatalf("paper = %v, %v; want 6 policies", paper, err)
 	}
 	ext, err := parsePolicies("extensions")
-	if err != nil || len(ext) != 2 {
-		t.Fatalf("extensions = %v, %v; want 2 policies", ext, err)
+	if err != nil || len(ext) != 3 {
+		t.Fatalf("extensions = %v, %v; want 3 policies", ext, err)
+	}
+	spec, err := parsePolicies("AMTHA:tiebreak=spread,CATA")
+	if err != nil || len(spec) != 2 || spec[0] != cata.Policy("AMTHA:tiebreak=spread") || spec[1] != cata.PolicyCATA {
+		t.Fatalf("spec list = %v, %v", spec, err)
+	}
+	multi, err := parsePolicies("CATS+BL:theta=0.9,AMTHA")
+	if err != nil || len(multi) != 2 || multi[0] != cata.Policy("CATS+BL:theta=0.9") || multi[1] != cata.PolicyAMTHA {
+		t.Fatalf("param list = %v, %v", multi, err)
+	}
+	if _, err := parsePolicies("AMTHA:tiebreak=nope"); err == nil {
+		t.Fatal("bad parameter value accepted")
 	}
 	pair, err := parsePolicies("CATA, CATA+RSU")
 	if err != nil || len(pair) != 2 || pair[0] != cata.PolicyCATA || pair[1] != cata.PolicyCATARSU {
@@ -159,8 +170,8 @@ func TestSweepPoliciesOnSyntheticWorkload(t *testing.T) {
 	if !strings.Contains(got, "policy comparison on "+workload) {
 		t.Fatalf("missing header:\n%s", got)
 	}
-	if lines := strings.Count(got, "\n"); lines != 10 { // title + header + 8 policy rows
-		t.Fatalf("got %d lines, want 10:\n%s", lines, got)
+	if lines := strings.Count(got, "\n"); lines != 11 { // title + header + 9 policy rows
+		t.Fatalf("got %d lines, want 11:\n%s", lines, got)
 	}
 
 	resumed, err := cata.RunBatch(context.Background(), p.configs,

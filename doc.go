@@ -14,8 +14,10 @@
 // (see DESIGN.md): a picosecond discrete-event engine, a 32-core machine
 // model with dual-rail DVFS and ACPI C-states, an analytic power model, a
 // cpufreq software stack with lock contention, the runtime system with
-// all five scheduling/acceleration policies of the paper plus a TurboMode
-// comparator, and synthetic generators for the six PARSECSs benchmarks.
+// an open policy registry — the paper's scheduling/acceleration
+// configurations, a TurboMode comparator, beyond-the-paper extensions
+// like AMTHA, and room for more (see PolicyDocs and ParsePolicy) — and
+// synthetic generators for the six PARSECSs benchmarks.
 //
 // Quick start:
 //

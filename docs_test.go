@@ -18,22 +18,55 @@ func readDoc(t *testing.T, name string) string {
 	return string(b)
 }
 
-// TestREADMEListsEveryPolicy: the README policy table stays in sync with
-// the single source of truth, cata.PolicyDocs — both the label and its
-// summary line must appear verbatim.
+// policyTable renders the README policy table from the registry. The
+// README carries this table verbatim between the policies:begin/end
+// markers; regenerate it by running this test and copying the expected
+// output it prints on mismatch.
+func policyTable() string {
+	var b strings.Builder
+	b.WriteString("| Label | Params | Summary |\n|---|---|---|\n")
+	for _, d := range cata.PolicyDocs() {
+		params := "—"
+		if len(d.Params) > 0 {
+			var ps []string
+			for _, p := range d.Params {
+				kind := p.Kind
+				if len(p.Choices) > 0 {
+					kind = strings.Join(p.Choices, "\\|")
+				}
+				ps = append(ps, "`"+p.Key+"` ("+kind+", default `"+p.Default+"`)")
+			}
+			params = strings.Join(ps, ", ")
+		}
+		summary := d.Summary
+		if d.Extension {
+			summary += " (extension)"
+		}
+		b.WriteString("| `" + d.Label + "` | " + params + " | " + summary + " |\n")
+	}
+	return b.String()
+}
+
+// TestREADMEListsEveryPolicy: the README policy table is the registry's
+// rendering, byte for byte — a registered policy (or a new parameter on
+// one) cannot ship without its row. The expected table is printed on
+// mismatch so the README is a copy-paste away from correct.
 func TestREADMEListsEveryPolicy(t *testing.T) {
 	readme := readDoc(t, "README.md")
 	docs := cata.PolicyDocs()
-	if len(docs) != 8 {
-		t.Fatalf("PolicyDocs = %d entries, want 8", len(docs))
+	if len(docs) != 9 {
+		t.Fatalf("PolicyDocs = %d entries, want 9", len(docs))
 	}
-	for _, d := range docs {
-		if !strings.Contains(readme, "`"+d.Label+"`") {
-			t.Errorf("README.md policy table is missing %q", d.Label)
-		}
-		if !strings.Contains(readme, d.Summary) {
-			t.Errorf("README.md policy table is missing the summary for %q: %q", d.Label, d.Summary)
-		}
+	const begin, end = "<!-- policies:begin -->", "<!-- policies:end -->"
+	i := strings.Index(readme, begin)
+	j := strings.Index(readme, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md lacks the %s / %s markers around the policy table", begin, end)
+	}
+	got := strings.TrimSpace(readme[i+len(begin) : j])
+	want := strings.TrimSpace(policyTable())
+	if got != want {
+		t.Errorf("README.md policy table has drifted from cata.PolicyDocs.\nExpected table between the markers:\n\n%s", want)
 	}
 }
 
@@ -52,8 +85,8 @@ func TestREADMEListsEveryWorkload(t *testing.T) {
 // parse back, so a help string can never advertise an unknown policy.
 func TestCLIHelpDerivesFromPolicyDocs(t *testing.T) {
 	labels := cata.PolicyLabels()
-	if len(labels) != 8 {
-		t.Fatalf("PolicyLabels = %v, want 8 labels", labels)
+	if len(labels) != 9 {
+		t.Fatalf("PolicyLabels = %v, want 9 labels", labels)
 	}
 	for _, l := range labels {
 		p, err := cata.ParsePolicy(l)
@@ -72,8 +105,8 @@ func TestArchitectureDocExists(t *testing.T) {
 	arch := readDoc(t, "ARCHITECTURE.md")
 	for _, pkg := range []string{
 		"internal/exp", "internal/batch", "internal/workloads",
-		"internal/program", "internal/tdg", "internal/rts",
-		"internal/machine", "internal/sim",
+		"internal/policies", "internal/program", "internal/tdg",
+		"internal/rts", "internal/machine", "internal/sim",
 	} {
 		if !strings.Contains(arch, pkg) {
 			t.Errorf("ARCHITECTURE.md does not mention %s", pkg)

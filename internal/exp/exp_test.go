@@ -20,7 +20,7 @@ func TestPolicyStrings(t *testing.T) {
 	}
 	for p, s := range want {
 		if p.String() != s {
-			t.Fatalf("%d.String() = %q, want %q", int(p), p.String(), s)
+			t.Fatalf("%v.String() = %q, want %q", p, p.String(), s)
 		}
 		got, err := ParsePolicy(s)
 		if err != nil || got != p {
@@ -286,7 +286,7 @@ func TestExtensionPolicyParse(t *testing.T) {
 	if err != nil || p != CATARSUHA {
 		t.Fatalf("ParsePolicy extension: %v, %v", p, err)
 	}
-	if len(ExtensionPolicies()) != 2 {
+	if len(ExtensionPolicies()) != 3 {
 		t.Fatal("ExtensionPolicies wrong")
 	}
 }
@@ -415,6 +415,62 @@ func TestWriteCSV(t *testing.T) {
 		}
 		if sp, err := strconv.ParseFloat(row[3], 64); err != nil || sp <= 0 {
 			t.Fatalf("bad speedup %q", row[3])
+		}
+	}
+}
+
+// TestPolicyParamsBehavioral: spec parameters actually reach the wired
+// policy — CATS+BL's theta moves the criticality threshold, and AMTHA's
+// tiebreak default equals the bare spec.
+func TestPolicyParamsBehavioral(t *testing.T) {
+	run := func(p Policy) Measurement {
+		t.Helper()
+		m, err := Run(RunSpec{Workload: "dedup", Policy: p, FastCores: 4, Cores: 8, Scale: 0.1})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", p, err)
+		}
+		return m
+	}
+
+	// theta=1.0 is the declared default: identical to the bare spec.
+	bare, dflt := run(CATSBL), run(Policy("CATS+BL:theta=1.0"))
+	if bare.Makespan != dflt.Makespan || bare.CriticalTasks != dflt.CriticalTasks {
+		t.Fatalf("theta=1.0 differs from bare CATS+BL: %+v vs %+v", dflt, bare)
+	}
+	// A looser threshold marks strictly more tasks critical.
+	loose := run(Policy("CATS+BL:theta=0.1"))
+	if loose.CriticalTasks <= bare.CriticalTasks {
+		t.Fatalf("theta=0.1 critical = %d, want > %d (theta=1.0)",
+			loose.CriticalTasks, bare.CriticalTasks)
+	}
+}
+
+// TestAMTHATiebreaks: every tiebreak variant runs, the default equals
+// the bare spec, and reruns are deterministic.
+func TestAMTHATiebreaks(t *testing.T) {
+	run := func(p Policy) Measurement {
+		t.Helper()
+		m, err := Run(RunSpec{Workload: "fluidanimate", Policy: p, FastCores: 4, Cores: 8, Scale: 0.05})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", p, err)
+		}
+		return m
+	}
+	bare := run(AMTHA)
+	if bare.Makespan <= 0 {
+		t.Fatalf("AMTHA makespan = %v", bare.Makespan)
+	}
+	if idx := run(Policy("AMTHA:tiebreak=index")); idx.Makespan != bare.Makespan {
+		t.Fatalf("tiebreak=index differs from bare AMTHA: %v vs %v", idx.Makespan, bare.Makespan)
+	}
+	for _, p := range []Policy{"AMTHA:tiebreak=spread", "AMTHA:tiebreak=accum"} {
+		first := run(p)
+		if first.Makespan <= 0 {
+			t.Fatalf("%s makespan = %v", p, first.Makespan)
+		}
+		if again := run(p); again.Makespan != first.Makespan || again.Joules != first.Joules {
+			t.Fatalf("%s not deterministic: %v/%v vs %v/%v",
+				p, again.Makespan, again.Joules, first.Makespan, first.Joules)
 		}
 	}
 }

@@ -276,6 +276,18 @@ func shortName(p Policy) string {
 	case TURBO:
 		return "Turbo"
 	default:
-		return "?"
+		// Registered policies outside the abbreviation table: the spec
+		// name, clipped to keep the matrix columns aligned.
+		name := string(p)
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			name = name[:i]
+		}
+		if name == "" {
+			name = "?"
+		}
+		if len(name) > 5 {
+			name = name[:5]
+		}
+		return name
 	}
 }

@@ -4,19 +4,20 @@
 // renders the tables behind Figure 4, Figure 5 and the §V-C analysis.
 //
 // A RunSpec names a workload spec (resolved by internal/workloads), a
-// Policy (one of the eight configurations in PolicyDocs) and a machine;
-// Run executes it and harvests a Measurement. Sweep fans many specs
-// through the batch engine (internal/batch) with cancellation, bounded
-// parallelism and a content-addressed result cache, and RunMatrixSweep
-// assembles the FIFO-normalized matrices the figures are built from.
+// policy spec (resolved by the open registry in internal/policies) and a
+// machine; Run executes it and harvests a Measurement. Sweep fans many
+// specs through the batch engine (internal/batch) with cancellation,
+// bounded parallelism and a content-addressed result cache, and
+// RunMatrixSweep assembles the FIFO-normalized matrices the figures are
+// built from.
 package exp
 
 import (
 	"encoding/json"
-	"fmt"
 
 	"cata/internal/cpufreq"
 	"cata/internal/machine"
+	"cata/internal/policies"
 	"cata/internal/probe"
 	"cata/internal/rsm"
 	"cata/internal/rsu"
@@ -24,68 +25,81 @@ import (
 	"cata/internal/sched"
 	"cata/internal/sim"
 	"cata/internal/turbo"
-	"cata/internal/xrand"
 )
 
-// Policy is one evaluated system configuration.
-type Policy int
+// Policy is one system configuration, held as a canonical policy spec
+// string (`name` or `name:key=val,...`) resolved by internal/policies.
+// The constants below name the built-in configurations with the paper's
+// labels; any policy registered with the registry — with or without
+// parameters — is an equally valid value. Use ParsePolicy to build one
+// from user input: it validates against the registry and canonicalizes,
+// so two equal Policy values always mean the same configuration (and
+// hash to the same batch cache key).
+type Policy string
 
 const (
 	// FIFO: baseline FIFO scheduler on a statically heterogeneous
 	// machine (N fast cores); criticality-blind (§II-C).
-	FIFO Policy = iota
+	FIFO Policy = "FIFO"
 	// CATSBL: CATS scheduler with dynamic bottom-level criticality [24].
-	CATSBL
+	CATSBL Policy = "CATS+BL"
 	// CATSSA: CATS scheduler with static criticality annotations.
-	CATSSA
+	CATSSA Policy = "CATS+SA"
 	// CATA: criticality-aware task acceleration in software — CritFirst
 	// scheduling plus RSM-driven DVFS through the cpufreq stack (§III-A).
-	CATA
+	CATA Policy = "CATA"
 	// CATARSU: CATA with the hardware Runtime Support Unit (§III-B).
-	CATARSU
+	CATARSU Policy = "CATA+RSU"
 	// TURBO: criticality-blind TurboMode [18] on the FIFO scheduler.
-	TURBO
+	TURBO Policy = "TurboMode"
 	// CATARSUHA: extension beyond the paper — CATA+RSU that releases the
 	// budget of cores halted in kernel services and restores it on wake,
 	// closing the §V-D gap the paper concedes to TurboMode.
-	CATARSUHA
+	CATARSUHA Policy = "CATA+RSU-HA"
 	// CATA3L: extension beyond the paper — the multi-level acceleration
 	// §III leaves as future work: three operating points with a
 	// power-unit budget (fast = 2 units, mid = 1).
-	CATA3L
+	CATA3L Policy = "CATA+RSU-3L"
+	// AMTHA: registered extension — static task-to-core mapping by
+	// accumulated-time list scheduling (De Giusti et al.), the contrast
+	// point to CATA's dynamic acceleration.
+	AMTHA Policy = "AMTHA"
 )
 
 // PolicyDoc describes one policy for help strings, listings and tables.
-// policyDocs is the single source of truth for the policy set: String,
-// ParsePolicy, AllPolicies, ExtensionPolicies, the CLIs' -policy help
-// and the README policy table all derive from it (the last enforced by
-// a test), so the eight policies can never drift apart across lists.
+// The open registry (internal/policies) is the single source of truth
+// for the policy set: String, ParsePolicy, AllPolicies,
+// ExtensionPolicies, the CLIs' -policy help and the README policy table
+// all derive from it (the last enforced by a test), so registered
+// policies can never drift apart across lists.
 type PolicyDoc struct {
-	// Policy is the enum value.
+	// Policy is the canonical bare spec (no parameters).
 	Policy Policy
-	// Label is the paper's name for the configuration.
+	// Label is the policy's display name (the paper's label for the
+	// configurations it evaluates).
 	Label string
 	// Extension marks beyond-the-paper configurations.
 	Extension bool
 	// Summary is a one-line description.
 	Summary string
+	// Params documents the policy's typed spec parameters.
+	Params []policies.ParamDoc
 }
 
-var policyDocs = []PolicyDoc{
-	{FIFO, "FIFO", false, "criticality-blind FIFO scheduler on statically fast/slow cores (baseline)"},
-	{CATSBL, "CATS+BL", false, "criticality-aware scheduling, dynamic bottom-level estimation"},
-	{CATSSA, "CATS+SA", false, "criticality-aware scheduling, static criticality annotations"},
-	{CATA, "CATA", false, "criticality-driven acceleration in software via the cpufreq stack"},
-	{CATARSU, "CATA+RSU", false, "CATA with the hardware Runtime Support Unit"},
-	{TURBO, "TurboMode", false, "criticality-blind acceleration of random ready cores"},
-	{CATARSUHA, "CATA+RSU-HA", true, "CATA+RSU that re-budgets cores halted in kernel IO"},
-	{CATA3L, "CATA+RSU-3L", true, "CATA+RSU with three operating points under a power-unit budget"},
-}
-
-// PolicyDocs returns documentation for every policy, paper order first,
-// then the extensions. The returned slice is a copy.
+// PolicyDocs returns documentation for every registered policy: paper
+// order first, then the extensions, then external registrations.
 func PolicyDocs() []PolicyDoc {
-	return append([]PolicyDoc(nil), policyDocs...)
+	var ds []PolicyDoc
+	for _, e := range policies.List() {
+		ds = append(ds, PolicyDoc{
+			Policy:    Policy(e.Name),
+			Label:     e.Name,
+			Extension: e.Extension,
+			Summary:   e.Summary,
+			Params:    e.Params,
+		})
+	}
+	return ds
 }
 
 // Fig4Policies are the software-only configurations of Figure 4.
@@ -99,12 +113,13 @@ func Fig5Policies() []Policy { return []Policy{CATA, CATARSU, TURBO} }
 // are opt-in; see ExtensionPolicies).
 func AllPolicies() []Policy { return policiesWhere(false) }
 
-// ExtensionPolicies returns the beyond-the-paper configurations.
+// ExtensionPolicies returns the beyond-the-paper configurations,
+// including registered extensions like AMTHA.
 func ExtensionPolicies() []Policy { return policiesWhere(true) }
 
 func policiesWhere(extension bool) []Policy {
 	var ps []Policy
-	for _, d := range policyDocs {
+	for _, d := range PolicyDocs() {
 		if d.Extension == extension {
 			ps = append(ps, d.Policy)
 		}
@@ -112,24 +127,23 @@ func policiesWhere(extension bool) []Policy {
 	return ps
 }
 
-// String implements fmt.Stringer with the paper's labels.
+// String implements fmt.Stringer: the canonical spec (for the built-in
+// configurations, the paper's label).
 func (p Policy) String() string {
-	for _, d := range policyDocs {
-		if d.Policy == p {
-			return d.Label
-		}
+	if p == "" {
+		return string(FIFO)
 	}
-	return fmt.Sprintf("Policy(%d)", int(p))
+	return string(p)
 }
 
-// MarshalJSON encodes the policy as its paper label, keeping cache keys
-// and persisted sweep results readable and stable even if the enum
-// values are ever reordered.
+// MarshalJSON encodes the policy as its canonical spec string, keeping
+// cache keys and persisted sweep results readable and stable. The zero
+// value encodes as FIFO, its meaning everywhere else.
 func (p Policy) MarshalJSON() ([]byte, error) {
 	return json.Marshal(p.String())
 }
 
-// UnmarshalJSON decodes a paper label.
+// UnmarshalJSON decodes and validates a policy spec.
 func (p *Policy) UnmarshalJSON(b []byte) error {
 	var s string
 	if err := json.Unmarshal(b, &s); err != nil {
@@ -143,15 +157,17 @@ func (p *Policy) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// ParsePolicy converts a paper label (case-sensitive, as printed by
-// String) to a Policy.
+// ParsePolicy resolves a policy spec string (`name` or
+// `name:key=val,...`, name matched case-insensitively) against the
+// registry, validating parameter keys, types and bounds, and returns the
+// canonical Policy. The error is a *policies.SpecError naming the
+// offending parameter when one is at fault.
 func ParsePolicy(s string) (Policy, error) {
-	for _, d := range policyDocs {
-		if d.Label == s {
-			return d.Policy, nil
-		}
+	canon, err := policies.Canonicalize(s)
+	if err != nil {
+		return "", err
 	}
-	return 0, fmt.Errorf("exp: unknown policy %q", s)
+	return Policy(canon), nil
 }
 
 // rig is one fully wired system, ready to run.
@@ -173,19 +189,25 @@ type rig struct {
 	fast  []bool
 }
 
-// buildRig assembles the policy's full stack for one run.
+// buildRig assembles the policy's full stack for one run: it resolves
+// the policy spec against the registry, applies the entry's machine
+// hook (if any) before the machine is constructed, and hands the entry's
+// Build hook the wiring environment.
 func buildRig(spec RunSpec, prog programHolder) (*rig, error) {
+	entry, params, err := policies.Resolve(string(spec.Policy))
+	if err != nil {
+		return nil, err
+	}
 	eng := sim.NewEngine()
 	mcfg := machine.TableIConfig()
 	mcfg.Cores = spec.Cores
 	if spec.TransitionLatency > 0 {
 		mcfg.TransitionLatency = spec.TransitionLatency
 	}
-	if spec.Policy == CATA3L {
-		// The multi-level extension adds an intermediate operating point.
-		mcfg.Power = rsu.ThreeLevelModel()
-		mcfg.SlowLevel = 0
-		mcfg.FastLevel = 2
+	if entry.Machine != nil {
+		if err := entry.Machine(params, &mcfg); err != nil {
+			return nil, err
+		}
 	}
 	mach, err := machine.New(eng, mcfg)
 	if err != nil {
@@ -209,7 +231,7 @@ func buildRig(spec RunSpec, prog programHolder) (*rig, error) {
 	}
 	r := &rig{eng: eng, mach: mach}
 	if spec.Trace != nil {
-		// Attach the flight recorder before the policy switch so the
+		// Attach the flight recorder before the policy is built so the
 		// static class assignment (SetHeterogeneous) is captured as the
 		// frequency counters' seed transitions.
 		r.probe = probe.NewBuffer()
@@ -217,50 +239,21 @@ func buildRig(spec RunSpec, prog programHolder) (*rig, error) {
 		cfg.Recorder = r.probe
 	}
 
-	switch spec.Policy {
-	case FIFO:
-		mach.SetHeterogeneous(spec.FastCores)
-		cfg.NewScheduler = func(info sched.CoreInfo) sched.Scheduler { return sched.NewFIFO(info) }
-	case CATSBL:
-		mach.SetHeterogeneous(spec.FastCores)
-		cfg.Estimator = sched.NewBottomLevel()
-		cfg.Options.ClassAwareWake = true
-		cfg.NewScheduler = func(info sched.CoreInfo) sched.Scheduler { return sched.NewCATS(info) }
-	case CATSSA:
-		mach.SetHeterogeneous(spec.FastCores)
-		cfg.Options.ClassAwareWake = true
-		cfg.NewScheduler = func(info sched.CoreInfo) sched.Scheduler { return sched.NewCATS(info) }
-	case CATA:
-		r.fw = cpufreq.New(eng, mach, cpufreq.DefaultCosts())
-		r.rsmMod = rsm.New(eng, mach, r.fw, spec.FastCores)
-		cfg.Reconfig = rts.RSMReconfig{RSM: r.rsmMod}
-		cfg.NewScheduler = func(sched.CoreInfo) sched.Scheduler { return sched.NewCritFirst() }
-	case CATARSU:
-		r.rsuUnit = rsu.New(eng, mach)
-		r.rsuUnit.Init(spec.FastCores)
-		cfg.Reconfig = rts.RSUReconfig{RSU: r.rsuUnit, Machine: mach, OpCycles: cfg.Options.RSUOpCycles}
-		cfg.NewScheduler = func(sched.CoreInfo) sched.Scheduler { return sched.NewCritFirst() }
-	case CATARSUHA:
-		r.rsuUnit = rsu.New(eng, mach)
-		r.rsuUnit.Init(spec.FastCores)
-		rsu.NewHaltAware(r.rsuUnit, mach)
-		cfg.Reconfig = rts.RSUReconfig{RSU: r.rsuUnit, Machine: mach, OpCycles: cfg.Options.RSUOpCycles}
-		cfg.NewScheduler = func(sched.CoreInfo) sched.Scheduler { return sched.NewCritFirst() }
-	case CATA3L:
-		// Same power envelope as `FastCores` fast cores: fast costs 2
-		// units, so the pool is 2x the fast-core budget.
-		ml := rsu.NewMultiLevel(eng, mach, rsu.ThreeLevelUnitCosts())
-		ml.Init(2 * spec.FastCores)
-		r.mlUnit = ml
-		cfg.Reconfig = rts.RSUReconfig{RSU: ml, Machine: mach, OpCycles: cfg.Options.RSUOpCycles}
-		cfg.NewScheduler = func(sched.CoreInfo) sched.Scheduler { return sched.NewCritFirst() }
-	case TURBO:
-		r.turboC = turbo.New(eng, mach, spec.FastCores, xrand.New(spec.Seed).Stream("turbo"))
-		r.turboC.Start()
-		cfg.NewScheduler = func(info sched.CoreInfo) sched.Scheduler { return sched.NewFIFO(info) }
-	default:
-		return nil, fmt.Errorf("exp: unknown policy %v", spec.Policy)
+	env := &policies.Env{
+		Eng:       eng,
+		Mach:      mach,
+		Cfg:       &cfg,
+		FastCores: spec.FastCores,
+		Seed:      spec.Seed,
 	}
+	if err := entry.Build(params, env); err != nil {
+		return nil, err
+	}
+	r.fw = env.FW
+	r.rsmMod = env.RSM
+	r.rsuUnit = env.RSU
+	r.mlUnit = env.ML
+	r.turboC = env.Turbo
 
 	if r.probe != nil {
 		if r.fw != nil {

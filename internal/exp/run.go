@@ -65,6 +65,9 @@ type RunSpec struct {
 
 // withDefaults fills zero fields.
 func (s RunSpec) withDefaults() RunSpec {
+	if s.Policy == "" {
+		s.Policy = FIFO
+	}
 	if s.Cores == 0 {
 		s.Cores = 32
 	}

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"cata/internal/batch"
+	"cata/internal/policies"
 	"cata/internal/workloads"
 )
 
@@ -115,6 +116,16 @@ func cacheKey(s RunSpec) (string, bool) {
 		return "", false
 	}
 	s.Workload = tok
+	// The policy spec canonicalizes the same way: case and parameter
+	// order fold away, so two spellings of one configuration share a
+	// cache entry. For the built-in bare specs the canonical form is the
+	// paper label — exactly what keys always hashed — so existing cached
+	// results stay addressable.
+	canon, err := policies.Canonicalize(string(s.Policy))
+	if err != nil {
+		return "", false
+	}
+	s.Policy = Policy(canon)
 	k, err := batch.Key(s)
 	if err != nil {
 		return "", false

@@ -186,7 +186,7 @@ func TestSuiteQuick(t *testing.T) {
 			t.Fatalf("%s: unknown kind %q", r.Name, r.Kind)
 		}
 	}
-	if benches < 10 || sums != 8 {
+	if benches < 10 || sums != 9 {
 		t.Fatalf("suite shape: %d benches, %d checksums", benches, sums)
 	}
 	// The engine microbenchmarks must report events/sec.

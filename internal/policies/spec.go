@@ -1,0 +1,131 @@
+package policies
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec is a parsed policy specification of the form
+//
+//	name
+//	name:key=val,key=val,...
+//
+// as accepted by the -policy / -policies CLI flags and
+// RunConfig.Policy. The name selects a registry entry (matched
+// case-insensitively); the parameters configure it.
+type Spec struct {
+	// Name is the registry entry name as written, e.g. "AMTHA" or
+	// "cats+bl".
+	Name string
+
+	keys []string          // provided keys, in canonical (sorted) order
+	vals map[string]string // provided key → value
+}
+
+// ParseSpec parses a policy spec string. It validates syntax only; the
+// name and parameter keys are checked against the registry by
+// Canonicalize and Resolve.
+func ParseSpec(s string) (Spec, error) {
+	name, rest, hasParams := strings.Cut(s, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Spec{}, &SpecError{Spec: s, Reason: "empty policy name"}
+	}
+	sp := Spec{Name: name, vals: map[string]string{}}
+	if !hasParams {
+		return sp, nil
+	}
+	if strings.TrimSpace(rest) == "" {
+		return Spec{}, &SpecError{Spec: s, Policy: name, Reason: "spec has a ':' but no parameters"}
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		key = strings.TrimSpace(key)
+		if !ok || key == "" {
+			return Spec{}, &SpecError{Spec: s, Policy: name, Reason: "bad parameter " + strconv.Quote(kv) + " (want key=val)"}
+		}
+		if _, dup := sp.vals[key]; dup {
+			return Spec{}, &SpecError{Spec: s, Policy: name, Key: key, Reason: "duplicate parameter"}
+		}
+		sp.vals[key] = strings.TrimSpace(val)
+		sp.keys = append(sp.keys, key)
+	}
+	sort.Strings(sp.keys)
+	return sp, nil
+}
+
+// Canonical returns the spec in canonical form: the name followed by
+// the provided parameters in sorted key order. Two spec strings that
+// differ only in parameter order or whitespace canonicalize
+// identically, so cache keys built from the canonical form never fork
+// on formatting.
+func (s Spec) Canonical() string {
+	if len(s.keys) == 0 {
+		return s.Name
+	}
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for i, k := range s.keys {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.vals[k])
+	}
+	return b.String()
+}
+
+// Params gives a policy's hooks typed access to a spec's parameters.
+// Values were already validated against the entry's ParamDoc kinds and
+// bounds before any hook runs, so accessors simply fall back to the
+// default on absent keys.
+type Params struct {
+	policy string
+	vals   map[string]string
+}
+
+func newParams(policy string, vals map[string]string) *Params {
+	return &Params{policy: policy, vals: vals}
+}
+
+// Str returns the string parameter key, or def when absent.
+func (p *Params) Str(key, def string) string {
+	v, ok := p.vals[key]
+	if !ok {
+		return def
+	}
+	return v
+}
+
+// Int returns the integer parameter key, or def when absent.
+func (p *Params) Int(key string, def int) int {
+	s, ok := p.vals[key]
+	if !ok {
+		return def
+	}
+	v, err := parseInt(s)
+	if err != nil {
+		return def
+	}
+	return int(v)
+}
+
+// Float returns the float parameter key, or def when absent.
+func (p *Params) Float(key string, def float64) float64 {
+	s, ok := p.vals[key]
+	if !ok {
+		return def
+	}
+	v, err := parseFloat(s)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func parseInt(s string) (int64, error)     { return strconv.ParseInt(s, 10, 64) }
+func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }

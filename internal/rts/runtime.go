@@ -72,6 +72,7 @@ type Runtime struct {
 	opts     Options
 	rec      probe.Recorder
 	critq    sched.CritQueue // non-nil when schedq splits by criticality
+	pinned   sched.Pinned    // non-nil when schedq binds tasks to cores
 	sampleCb func()          // re-armed ready-queue sampler continuation
 
 	graph *tdg.Graph
@@ -184,6 +185,9 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 		if cq, ok := r.schedq.(sched.CritQueue); ok {
 			r.critq = cq
 		}
+	}
+	if pq, ok := r.schedq.(sched.Pinned); ok {
+		r.pinned = pq
 	}
 	return r, nil
 }
@@ -386,7 +390,9 @@ func (r *Runtime) wakeWorker(core int) {
 	r.mach.Core(core).Wake(r.percore[core].workerCb)
 }
 
-// pickIdleCore selects which idle core to wake. With ClassAwareWake
+// pickIdleCore selects which idle core to wake. A pinned scheduler
+// (sched.Pinned — static mapping policies) overrides everything: only
+// the task's bound core is a wake candidate. With ClassAwareWake
 // (statically heterogeneous CATS machines) critical tasks prefer idle
 // fast cores, falling back to any idle core; non-critical tasks take the
 // next idle core round-robin — CATS lets fast cores pull from the LPRQ
@@ -404,6 +410,14 @@ func (r *Runtime) wakeWorker(core int) {
 // original linear scan used.
 func (r *Runtime) pickIdleCore(t *tdg.Task) int {
 	n := r.mach.Cores()
+	if r.pinned != nil {
+		// The task can only ever be served by its bound core: wake it if
+		// idle; otherwise it will dequeue the task when it next finishes.
+		if c := r.pinned.PinnedCore(t); c >= 0 && c < n && r.idle.has(c) {
+			return c
+		}
+		return -1
+	}
 	cur := r.wakeCursor
 	if r.opts.ClassAwareWake && t.Critical {
 		for i := r.idle.next(cur); i >= 0; i = r.idle.next(i + 1) {

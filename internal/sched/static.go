@@ -1,0 +1,90 @@
+package sched
+
+import "cata/internal/tdg"
+
+// Pinned is an optional Scheduler refinement: policies that bind each
+// task to a single core expose the binding so the runtime can wake that
+// core (and only that core) when the task becomes ready. Without the
+// hint, a statically mapped task could sit in its core's queue while the
+// round-robin wake path pulls a different, permanently empty-handed core
+// out of idle.
+type Pinned interface {
+	// PinnedCore returns the only core whose Dequeue can yield the task.
+	PinnedCore(t *tdg.Task) int
+}
+
+// StaticMap dispatches tasks according to a fixed task→core assignment:
+// Enqueue routes each ready task to its assigned core's private queue,
+// and Dequeue only ever serves a core from its own queue. Static mapping
+// policies (AMTHA) supply the assignment function; the scheduler itself
+// stays pure mechanism.
+type StaticMap struct {
+	queues []Queue
+	info   CoreInfo
+	assign func(t *tdg.Task) int
+	stats  Stats
+	len    int
+}
+
+// NewStaticMap returns a StaticMap over cores private queues. assign
+// maps a ready task to its core; out-of-range assignments clamp to core
+// zero. info may be nil; it is used only to attribute inversion
+// statistics.
+func NewStaticMap(cores int, info CoreInfo, assign func(t *tdg.Task) int) *StaticMap {
+	if cores <= 0 || assign == nil {
+		panic("sched: StaticMap needs cores and an assignment")
+	}
+	return &StaticMap{queues: make([]Queue, cores), info: info, assign: assign}
+}
+
+// Name implements Scheduler.
+func (s *StaticMap) Name() string { return "StaticMap" }
+
+// Enqueue implements Scheduler.
+func (s *StaticMap) Enqueue(t *tdg.Task) {
+	s.queues[s.coreOf(t)].Push(t)
+	s.len++
+}
+
+// Dequeue implements Scheduler: a core serves only its own queue.
+func (s *StaticMap) Dequeue(core int) *tdg.Task {
+	t := s.queues[core].Pop()
+	if t == nil {
+		return nil
+	}
+	s.len--
+	s.account(core, t)
+	return t
+}
+
+// Len implements Scheduler.
+func (s *StaticMap) Len() int { return s.len }
+
+// PinnedCore implements Pinned.
+func (s *StaticMap) PinnedCore(t *tdg.Task) int { return s.coreOf(t) }
+
+// Stats returns dispatch statistics.
+func (s *StaticMap) Stats() *Stats { return &s.stats }
+
+func (s *StaticMap) coreOf(t *tdg.Task) int {
+	c := s.assign(t)
+	if c < 0 || c >= len(s.queues) {
+		c = 0
+	}
+	return c
+}
+
+func (s *StaticMap) account(core int, t *tdg.Task) {
+	s.stats.Dispatched++
+	if s.info == nil {
+		return
+	}
+	switch {
+	case t.Critical && !s.info.IsFast(core):
+		s.stats.CriticalToSlow++
+	case t.Critical:
+		s.stats.CriticalToFast++
+	case s.info.IsFast(core):
+		s.stats.NonCriticalToFast++
+	}
+}

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"testing"
+
+	"cata/internal/tdg"
+)
+
+func TestStaticMapRoutesToAssignedCore(t *testing.T) {
+	// Even IDs to core 0, odd to core 1.
+	s := NewStaticMap(2, nil, func(tk *tdg.Task) int { return tk.ID % 2 })
+	for i := 0; i < 6; i++ {
+		s.Enqueue(plainTask(i))
+	}
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Core 1 only ever sees odd IDs, in FIFO order.
+	for _, want := range []int{1, 3, 5} {
+		got := s.Dequeue(1)
+		if got == nil || got.ID != want {
+			t.Fatalf("core 1 Dequeue = %v, want %d", got, want)
+		}
+	}
+	if s.Dequeue(1) != nil {
+		t.Fatal("core 1 served a task from another core's queue")
+	}
+	for _, want := range []int{0, 2, 4} {
+		got := s.Dequeue(0)
+		if got == nil || got.ID != want {
+			t.Fatalf("core 0 Dequeue = %v, want %d", got, want)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after drain = %d", s.Len())
+	}
+	if s.Stats().Dispatched != 6 {
+		t.Fatalf("Dispatched = %d", s.Stats().Dispatched)
+	}
+}
+
+func TestStaticMapPinnedAndClamping(t *testing.T) {
+	// Out-of-range assignments clamp to core zero rather than crash.
+	s := NewStaticMap(2, nil, func(tk *tdg.Task) int { return tk.ID })
+	if c := s.PinnedCore(plainTask(1)); c != 1 {
+		t.Fatalf("PinnedCore in range = %d", c)
+	}
+	if c := s.PinnedCore(plainTask(99)); c != 0 {
+		t.Fatalf("PinnedCore above range = %d, want clamp to 0", c)
+	}
+	if c := s.PinnedCore(&tdg.Task{ID: -3, Type: plainTask(0).Type}); c != 0 {
+		t.Fatalf("PinnedCore below range = %d, want clamp to 0", c)
+	}
+	s.Enqueue(plainTask(99))
+	if got := s.Dequeue(0); got == nil || got.ID != 99 {
+		t.Fatalf("clamped task not on core 0: %v", got)
+	}
+
+	// The Pinned contract: Dequeue on any core other than PinnedCore
+	// never yields the task.
+	s.Enqueue(plainTask(1))
+	if s.Dequeue(0) != nil {
+		t.Fatal("core 0 dequeued a task pinned to core 1")
+	}
+	if got := s.Dequeue(1); got == nil || got.ID != 1 {
+		t.Fatalf("pinned core Dequeue = %v", got)
+	}
+}
+
+func TestStaticMapInversionAccounting(t *testing.T) {
+	info := &fakeInfo{fast: map[int]bool{0: true}}
+	s := NewStaticMap(2, info, func(tk *tdg.Task) int { return tk.ID % 2 })
+	s.Enqueue(critTask(1))  // critical pinned to slow core 1: an inversion
+	s.Enqueue(critTask(2))  // critical pinned to fast core 0
+	s.Enqueue(plainTask(4)) // non-critical on fast core 0
+	s.Dequeue(1)
+	s.Dequeue(0)
+	s.Dequeue(0)
+	st := s.Stats()
+	if st.CriticalToSlow != 1 || st.CriticalToFast != 1 || st.NonCriticalToFast != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStaticMapRejectsBadConstruction(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero cores": func() { NewStaticMap(0, nil, func(*tdg.Task) int { return 0 }) },
+		"nil assign": func() { NewStaticMap(2, nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewStaticMap %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"cata"
 	"cata/internal/jobs"
 	"cata/internal/metrics"
+	"cata/internal/policies"
 	"cata/internal/workloads"
 )
 
@@ -176,6 +177,25 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// writeSpecError writes a 400 for a config rejected at admission. When
+// the cause is a bad policy spec, the body names the offending
+// component — {"error": ..., "policy": ..., "param": ...} — so clients
+// can point at the exact field; other errors keep the plain
+// {"error": ...} shape.
+func writeSpecError(w http.ResponseWriter, context string, err error) {
+	body := map[string]string{"error": fmt.Sprintf("%s: %v", context, err)}
+	var se *policies.SpecError
+	if errors.As(err, &se) {
+		if se.Policy != "" {
+			body["policy"] = se.Policy
+		}
+		if se.Key != "" {
+			body["param"] = se.Key
+		}
+	}
+	writeJSON(w, http.StatusBadRequest, body)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	queued, running, terminal := s.mgr.Counts()
 	h := cata.ServiceHealth{
@@ -221,14 +241,28 @@ func checkWorkload(spec string) error {
 	return err
 }
 
+// checkPolicy validates a policy spec against the policy registry:
+// name, parameter keys, types and bounds, all without running anything.
+// The empty spec is the FIFO default.
+func checkPolicy(p cata.Policy) error {
+	if p == "" {
+		return nil
+	}
+	return cata.ValidatePolicy(string(p))
+}
+
 func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	var cfg cata.RunConfig
 	if err := decodeBody(w, r, &cfg); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding run config: %v", err)
+		writeSpecError(w, "decoding run config", err)
 		return
 	}
 	if err := checkWorkload(cfg.Workload); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := checkPolicy(cfg.Policy); err != nil {
+		writeSpecError(w, "validating policy", err)
 		return
 	}
 	if cfg.Arrivals != "" {
@@ -244,7 +278,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	var cfg cata.MatrixConfig
 	if err := decodeBody(w, r, &cfg); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding sweep config: %v", err)
+		writeSpecError(w, "decoding sweep config", err)
 		return
 	}
 	// MatrixConfig.Configs owns the defaults and the expansion order,
@@ -253,6 +287,10 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	for _, c := range cfgs {
 		if err := checkWorkload(c.Workload); err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := checkPolicy(c.Policy); err != nil {
+			writeSpecError(w, "validating policy", err)
 			return
 		}
 	}

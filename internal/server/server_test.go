@@ -2,7 +2,9 @@ package server_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strconv"
@@ -395,5 +397,107 @@ func TestMetricsEndpoint(t *testing.T) {
 		if _, ok := after[name]; !ok {
 			t.Errorf("metric %s missing from exposition", name)
 		}
+	}
+}
+
+// TestPolicySpecValidation: bad policy specs are rejected at admission
+// with a structured 400 naming the offending component, and a
+// registered policy is fully usable through the daemon by its spec
+// string alone — listed with its typed params, and runnable.
+func TestPolicySpecValidation(t *testing.T) {
+	cfg := server.Config{Workers: 1, QueueDepth: 4,
+		CachePath: filepath.Join(t.TempDir(), "cache.jsonl")}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		_ = srv.Drain(ctx)
+		_ = srv.Close()
+	})
+	c := cata.NewServiceClient(ts.URL, nil)
+	ctx := context.Background()
+
+	// /v1/policies exposes the registered AMTHA entry with its typed
+	// parameter docs — the registry is self-describing over the wire.
+	ps, err := c.Policies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var amtha *cata.PolicyInfo
+	for i := range ps {
+		if ps[i].Label == "AMTHA" {
+			amtha = &ps[i]
+		}
+	}
+	if amtha == nil {
+		t.Fatalf("/v1/policies does not list AMTHA: %+v", ps)
+	}
+	if !amtha.Extension || len(amtha.Params) != 1 {
+		t.Fatalf("AMTHA entry = %+v", amtha)
+	}
+	if p := amtha.Params[0]; p.Key != "tiebreak" || p.Kind != "enum" ||
+		p.Default != "index" || len(p.Choices) != 3 {
+		t.Fatalf("AMTHA param doc = %+v", p)
+	}
+
+	// post400 submits raw JSON and decodes the structured error body.
+	post400 := func(path, body string) map[string]string {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Fatalf("POST %s %s: status %d, want 400", path, body, resp.StatusCode)
+		}
+		var got map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	// Unknown policy name: the body names the policy.
+	got := post400("/v1/runs", `{"workload":"dedup","policy":"NoSuchPolicy"}`)
+	if got["policy"] != "NoSuchPolicy" || !strings.Contains(got["error"], "unknown policy") {
+		t.Fatalf("unknown-policy body = %v", got)
+	}
+	// Bad enum value: the body names policy and the offending key.
+	got = post400("/v1/runs", `{"workload":"dedup","policy":"AMTHA:tiebreak=bogus"}`)
+	if got["policy"] != "AMTHA" || got["param"] != "tiebreak" {
+		t.Fatalf("bad-enum body = %v", got)
+	}
+	// Out-of-bounds float deep inside a sweep config.
+	got = post400("/v1/sweeps", `{"workloads":["dedup"],"policies":["FIFO","CATS+BL:theta=2"]}`)
+	if got["policy"] != "CATS+BL" || got["param"] != "theta" {
+		t.Fatalf("sweep bad-theta body = %v", got)
+	}
+	// Unknown parameter key.
+	got = post400("/v1/runs", `{"workload":"dedup","policy":"FIFO:hint=1"}`)
+	if got["policy"] != "FIFO" || got["param"] != "hint" {
+		t.Fatalf("unknown-key body = %v", got)
+	}
+
+	// And the happy path: a parameterized spec string is accepted,
+	// simulated, and succeeds.
+	job, err := c.SubmitRun(ctx, cata.RunConfig{
+		Workload: "dedup", Policy: cata.Policy("AMTHA:tiebreak=spread"),
+		FastCores: 4, Scale: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != cata.JobSucceeded || st.Result == nil || len(st.Result.Results) != 1 {
+		t.Fatalf("AMTHA job = %+v", st)
 	}
 }

@@ -1,8 +1,10 @@
 // Command docscheck is the CI documentation gate. It fails (exit 1) on:
 //
 //   - broken relative links in markdown files: [text](path) whose path
-//     does not exist relative to the file (http/mailto/fragment links
-//     and fenced code blocks are ignored);
+//     does not exist relative to the file (http/mailto links and fenced
+//     code blocks are ignored);
+//   - broken heading fragments: [text](#anchor) and [text](file.md#anchor)
+//     whose anchor matches no heading slug in the target file;
 //   - exported identifiers without doc comments in non-main, non-test
 //     Go packages, and missing package comments.
 //
@@ -53,9 +55,11 @@ func skipDir(name string) bool {
 var mdLinkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
 
 // checkMarkdown verifies that every relative link in every markdown file
-// under root points at an existing file or directory.
+// under root points at an existing file or directory, and that every
+// heading fragment resolves to a real heading in its target file.
 func checkMarkdown(root string) []string {
 	var problems []string
+	anchors := map[string][]string{} // markdown path → heading slugs
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -69,7 +73,7 @@ func checkMarkdown(root string) []string {
 		if !strings.HasSuffix(d.Name(), ".md") {
 			return nil
 		}
-		problems = append(problems, checkMarkdownFile(path)...)
+		problems = append(problems, checkMarkdownFile(path, anchors)...)
 		return nil
 	})
 	if err != nil {
@@ -78,7 +82,7 @@ func checkMarkdown(root string) []string {
 	return problems
 }
 
-func checkMarkdownFile(path string) []string {
+func checkMarkdownFile(path string, anchors map[string][]string) []string {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return []string{fmt.Sprintf("docscheck: %v", err)}
@@ -95,22 +99,97 @@ func checkMarkdownFile(path string) []string {
 		}
 		for _, m := range mdLinkRe.FindAllStringSubmatch(line, -1) {
 			target := m[1]
-			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
-				strings.HasPrefix(target, "mailto:") {
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
 				continue
 			}
-			target, _, _ = strings.Cut(target, "#")
-			if target == "" {
+			file, frag, hasFrag := strings.Cut(target, "#")
+			resolved := path
+			if file != "" {
+				resolved = filepath.Join(filepath.Dir(path), file)
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: broken link %q (%s does not exist)", path, i+1, m[1], resolved))
+					continue
+				}
+			}
+			// Fragments are only checkable against markdown targets.
+			if !hasFrag || frag == "" || !strings.HasSuffix(resolved, ".md") {
 				continue
 			}
-			resolved := filepath.Join(filepath.Dir(path), target)
-			if _, err := os.Stat(resolved); err != nil {
+			if !hasAnchor(resolved, frag, anchors) {
 				problems = append(problems,
-					fmt.Sprintf("%s:%d: broken link %q (%s does not exist)", path, i+1, m[1], resolved))
+					fmt.Sprintf("%s:%d: broken fragment %q (no heading slugs to %q in %s)",
+						path, i+1, m[1], frag, resolved))
 			}
 		}
 	}
 	return problems
+}
+
+// hasAnchor reports whether the markdown file at path has a heading
+// whose GitHub-style slug equals frag, memoizing per file.
+func hasAnchor(path, frag string, anchors map[string][]string) bool {
+	slugs, ok := anchors[path]
+	if !ok {
+		slugs = headingSlugs(path)
+		anchors[path] = slugs
+	}
+	for _, s := range slugs {
+		if s == strings.ToLower(frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// headingSlugs extracts every ATX heading outside code fences and
+// returns the GitHub anchor slugs: lowercased, punctuation dropped,
+// spaces hyphenated, duplicates suffixed -1, -2, ...
+func headingSlugs(path string) []string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var slugs []string
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if text == line || !strings.HasPrefix(text, " ") && text != "" {
+			continue // not an ATX heading (e.g. a #! line)
+		}
+		s := slugify(strings.TrimSpace(text))
+		if n := seen[s]; n > 0 {
+			slugs = append(slugs, fmt.Sprintf("%s-%d", s, n))
+		} else {
+			slugs = append(slugs, s)
+		}
+		seen[s]++
+	}
+	return slugs
+}
+
+// slugify lowercases, drops everything but letters/digits/spaces/hyphens,
+// and hyphenates spaces — the GitHub heading-anchor algorithm.
+func slugify(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_',
+			'a' <= r && r <= 'z', '0' <= r && r <= '9', r > 127:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // checkGoDocs verifies package comments and exported-identifier doc

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	for in, want := range map[string]string{
+		"Policy registry":                "policy-registry",
+		"Writing a policy":               "writing-a-policy",
+		"The simulation service (catad)": "the-simulation-service-catad",
+		"Tracing & logging":              "tracing--logging",
+		"Where the paper lives in code":  "where-the-paper-lives-in-code",
+	} {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHeadingSlugsAndFragments(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	other := write("other.md", "# Other\n\n## Real thing\n\n```\n# not a heading\n```\n\n## Dup\n\n## Dup\n")
+	slugs := headingSlugs(other)
+	want := []string{"other", "real-thing", "dup", "dup-1"}
+	if strings.Join(slugs, " ") != strings.Join(want, " ") {
+		t.Fatalf("headingSlugs = %v, want %v", slugs, want)
+	}
+
+	doc := write("doc.md",
+		"# Doc\n\n## Here\n\n[a](#here) [b](other.md#real-thing) [c](other.md#dup-1)\n"+
+			"[bad1](#nope) [bad2](other.md#fake) [bad3](missing.md#x)\n")
+	problems := checkMarkdownFile(doc, map[string][]string{})
+	if len(problems) != 3 {
+		t.Fatalf("problems = %v, want 3", problems)
+	}
+	for i, frag := range []string{"#nope", "other.md#fake", "missing.md#x"} {
+		if !strings.Contains(problems[i], frag) {
+			t.Errorf("problem %d = %q, want mention of %q", i, problems[i], frag)
+		}
+	}
+}
